@@ -1,0 +1,607 @@
+package gridauth
+
+// Benchmark harness regenerating the paper's evaluation artifacts and the
+// performance characterization rows of DESIGN.md's experiment index
+// (E1/E2/E3/E5/E6/E8 and P1-P5). EXPERIMENTS.md records the measured
+// series next to the paper's qualitative claims.
+//
+// Run everything with:
+//
+//	go test -bench=. -benchmem .
+
+import (
+	"fmt"
+	"strconv"
+	"testing"
+	"time"
+
+	"gridauth/internal/accounts"
+	"gridauth/internal/akenti"
+	"gridauth/internal/cas"
+	"gridauth/internal/core"
+	"gridauth/internal/gram"
+	"gridauth/internal/gsi"
+	"gridauth/internal/jobcontrol"
+	"gridauth/internal/policy"
+	"gridauth/internal/rsl"
+	"gridauth/internal/sandbox"
+	"gridauth/internal/workload"
+)
+
+// benchFabric caches the expensive fixtures across benchmarks.
+type benchFabric struct {
+	fab   *Fabric
+	users []workload.User
+	creds map[gsi.DN]*gsi.Credential
+	voPol *policy.Policy
+	local *policy.Policy
+}
+
+func newBenchFabric(b *testing.B, nUsers int) *benchFabric {
+	b.Helper()
+	fab, err := NewFabric("/O=Grid/CN=Bench CA")
+	if err != nil {
+		b.Fatal(err)
+	}
+	users := workload.NFCUsers(nUsers/3+1, nUsers/3+1, nUsers/3+1)
+	creds := make(map[gsi.DN]*gsi.Credential, len(users))
+	for _, u := range users {
+		c, err := fab.IssueUser(string(u.DN))
+		if err != nil {
+			b.Fatal(err)
+		}
+		creds[u.DN] = c
+	}
+	voPol, err := workload.NFCPolicy(users)
+	if err != nil {
+		b.Fatal(err)
+	}
+	local, err := workload.NFCLocalPolicy()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return &benchFabric{fab: fab, users: users, creds: creds, voPol: voPol, local: local}
+}
+
+func (bf *benchFabric) gridMap() map[gsi.DN][]string {
+	m := make(map[gsi.DN][]string, len(bf.users))
+	for i, u := range bf.users {
+		m[u.DN] = []string{"acct" + strconv.Itoa(i)}
+	}
+	return m
+}
+
+func (bf *benchFabric) resource(b *testing.B, mode Mode) *Resource {
+	b.Helper()
+	cfg := ResourceConfig{
+		Name:    "bench.anl.gov",
+		CPUs:    1 << 20, // effectively unbounded so submissions never queue
+		Mode:    mode,
+		GridMap: bf.gridMap(),
+	}
+	if mode == ModeCallout {
+		cfg.VOPolicy = bf.voPol.Unparse()
+		cfg.LocalPolicy = bf.local.Unparse()
+	}
+	res, err := bf.fab.StartResource(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(res.Close)
+	return res
+}
+
+func (bf *benchFabric) client(b *testing.B, res *Resource, dn gsi.DN) *gram.Client {
+	b.Helper()
+	c, err := res.Client(bf.creds[dn])
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(c.Close)
+	return c
+}
+
+const benchAnalystJob = `&(executable=TRANSP)(directory=/sandbox/services)(jobtag=NFC)(count=2)(simduration=60)`
+
+// BenchmarkE1_Fig1_BaselineGRAM measures the Figure 1 baseline: a full
+// submit→status→cancel conversation through stock-GT2 authorization over
+// real TCP.
+func BenchmarkE1_Fig1_BaselineGRAM(b *testing.B) {
+	bf := newBenchFabric(b, 3)
+	res := bf.resource(b, ModeLegacy)
+	ana := analystOf(bf)
+	c := bf.client(b, res, ana)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		contact, err := c.Submit(benchAnalystJob, "")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := c.Status(contact); err != nil {
+			b.Fatal(err)
+		}
+		if err := c.Cancel(contact); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE2_Fig2_ExtendedGRAM measures the same conversation with the
+// Figure 2 extension active: authorization callouts on startup and on
+// both management requests. The delta vs E1 is the price of fine-grain
+// policy.
+func BenchmarkE2_Fig2_ExtendedGRAM(b *testing.B) {
+	bf := newBenchFabric(b, 3)
+	res := bf.resource(b, ModeCallout)
+	ana := analystOf(bf)
+	c := bf.client(b, res, ana)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		contact, err := c.Submit(benchAnalystJob, "")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := c.Status(contact); err != nil {
+			b.Fatal(err)
+		}
+		if err := c.Cancel(contact); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE3_Fig3_PolicyEval measures evaluation of the paper's Figure 3
+// policy for the narrated permit and deny cases.
+func BenchmarkE3_Fig3_PolicyEval(b *testing.B) {
+	pol := policy.MustParse(`
+/O=Grid/O=Globus/OU=mcs.anl.gov: &(action = start)(jobtag != NULL)
+/O=Grid/O=Globus/OU=mcs.anl.gov/CN=Bo Liu:
+  &(action = start)(executable = test1)(directory = /sandbox/test)(jobtag = ADS)(count<4)
+  &(action = start)(executable = test2)(directory = /sandbox/test)(jobtag = NFC)(count<4)
+/O=Grid/O=Globus/OU=mcs.anl.gov/CN=Kate Keahey:
+  &(action = start)(executable = TRANSP)(directory = /sandbox/test)(jobtag = NFC)
+  &(action=cancel)(jobtag=NFC)
+`, "VO:NFC")
+	const boDN = gsi.DN("/O=Grid/O=Globus/OU=mcs.anl.gov/CN=Bo Liu")
+	const kateDN = gsi.DN("/O=Grid/O=Globus/OU=mcs.anl.gov/CN=Kate Keahey")
+	permit := &policy.Request{Subject: boDN, Action: policy.ActionStart,
+		Spec: mustBenchSpec(b, `&(executable=test1)(directory=/sandbox/test)(jobtag=ADS)(count=3)`)}
+	deny := &policy.Request{Subject: boDN, Action: policy.ActionStart,
+		Spec: mustBenchSpec(b, `&(executable=test1)(directory=/sandbox/test)(jobtag=ADS)(count=8)`)}
+	manage := &policy.Request{Subject: kateDN, Action: policy.ActionCancel, JobOwner: boDN,
+		Spec: mustBenchSpec(b, `&(executable=test2)(directory=/sandbox/test)(jobtag=NFC)`)}
+	b.Run("permit", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if d := pol.Evaluate(permit); !d.Allowed {
+				b.Fatal(d.Reason)
+			}
+		}
+	})
+	b.Run("deny", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if d := pol.Evaluate(deny); d.Allowed {
+				b.Fatal("permitted")
+			}
+		}
+	})
+	b.Run("vo-wide-cancel", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if d := pol.Evaluate(manage); !d.Allowed {
+				b.Fatal(d.Reason)
+			}
+		}
+	})
+}
+
+// BenchmarkE5_CalloutDispatch measures the callout registry's dispatch
+// cost as the number of configured PDPs grows, for both PEP placements
+// (the dispatch itself is placement-independent; placements differ in
+// transport cost, covered by E1/E2).
+func BenchmarkE5_CalloutDispatch(b *testing.B) {
+	users := workload.NFCUsers(1, 1, 1)
+	voPol, err := workload.NFCPolicy(users)
+	if err != nil {
+		b.Fatal(err)
+	}
+	req := &core.Request{
+		Subject: users[1].DN,
+		Action:  policy.ActionStart,
+		Spec:    mustBenchSpec(b, benchAnalystJob),
+	}
+	for _, n := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("pdps=%d", n), func(b *testing.B) {
+			reg := core.NewRegistry()
+			for i := 0; i < n; i++ {
+				reg.Bind(core.CalloutJobManager, &core.PolicyPDP{Policy: voPol})
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if d := reg.Invoke(core.CalloutJobManager, req); d.Effect != core.Permit {
+					b.Fatal(d.Reason)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE6_EnforcementModes compares the per-decision cost of the
+// three enforcement vehicles of §6.1: gateway policy evaluation, account
+// rights checks, and sandbox usage polling.
+func BenchmarkE6_EnforcementModes(b *testing.B) {
+	users := workload.NFCUsers(1, 1, 1)
+	voPol, err := workload.NFCPolicy(users)
+	if err != nil {
+		b.Fatal(err)
+	}
+	req := &policy.Request{
+		Subject: users[1].DN,
+		Action:  policy.ActionStart,
+		Spec:    mustBenchSpec(b, benchAnalystJob),
+	}
+	b.Run("gateway-policy", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if d := voPol.Evaluate(req); !d.Allowed {
+				b.Fatal(d.Reason)
+			}
+		}
+	})
+	b.Run("account-rights", func(b *testing.B) {
+		mgr := accounts.NewManager()
+		acct := mgr.AddStatic("ana", accounts.Rights{MaxCPUs: 64, DiskQuotaMB: 10_000, MaxWallTime: 48 * time.Hour})
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := acct.CheckJob(2, 100, time.Hour); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	for _, jobs := range []int{1, 16, 256} {
+		b.Run(fmt.Sprintf("sandbox-poll/jobs=%d", jobs), func(b *testing.B) {
+			cluster := jobcontrol.NewCluster(1 << 20)
+			mon := sandbox.NewMonitor(cluster, false)
+			for i := 0; i < jobs; i++ {
+				j, err := cluster.Submit(jobcontrol.JobSpec{Executable: "w", Count: 1, Duration: 1000 * time.Hour})
+				if err != nil {
+					b.Fatal(err)
+				}
+				mon.Attach(j.ID, sandbox.Limits{MaxCPUSeconds: 1 << 40, MaxMemoryMB: 1 << 20})
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if vs := mon.Poll(); len(vs) != 0 {
+					b.Fatal("unexpected violation")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE8_NFCWorkload pushes the §2 National Fusion Collaboratory
+// request mix (80% starts, 20% management, 10% non-conforming) through
+// the combined VO+local decision chain.
+func BenchmarkE8_NFCWorkload(b *testing.B) {
+	users := workload.NFCUsers(10, 10, 2)
+	voPol, err := workload.NFCPolicy(users)
+	if err != nil {
+		b.Fatal(err)
+	}
+	local, err := workload.NFCLocalPolicy()
+	if err != nil {
+		b.Fatal(err)
+	}
+	chain := core.NewCombined(core.RequireAllPermit,
+		&core.PolicyPDP{Policy: voPol}, &core.PolicyPDP{Policy: local})
+	stream := workload.RequestStream(users, 4096, 2003, 0.9)
+	b.ResetTimer()
+	permits := 0
+	for i := 0; i < b.N; i++ {
+		r := stream[i%len(stream)]
+		d := chain.Authorize(&core.Request{
+			Subject: r.Subject, Action: r.Action, JobOwner: r.Owner, Spec: r.Spec,
+		})
+		if d.Effect == core.Permit {
+			permits++
+		}
+	}
+	b.ReportMetric(float64(permits)/float64(b.N), "permit-fraction")
+}
+
+// BenchmarkP1_StartupAuthzOverhead measures end-to-end job startup over
+// TCP as the policy grows: the legacy baseline vs callout mode with n
+// statements. This is the quantitative form of the paper's implicit
+// claim that fine-grain authorization is affordable at job-startup
+// granularity.
+func BenchmarkP1_StartupAuthzOverhead(b *testing.B) {
+	bf := newBenchFabric(b, 3)
+	ana := analystOf(bf)
+
+	b.Run("legacy", func(b *testing.B) {
+		res := bf.resource(b, ModeLegacy)
+		c := bf.client(b, res, ana)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := c.Submit(benchAnalystJob, ""); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	for _, n := range []int{1, 10, 100, 1000} {
+		b.Run(fmt.Sprintf("callout/rules=%d", n), func(b *testing.B) {
+			// n filler statements for other users plus the real grants.
+			filler, err := workload.SyntheticPolicy(workload.NFCUsers(0, 0, 50), n, 1, 3)
+			if err != nil {
+				b.Fatal(err)
+			}
+			pol := bf.voPol.Merge(filler)
+			res, err := bf.fab.StartResource(ResourceConfig{
+				Name: "p1.anl.gov", CPUs: 1 << 20, Mode: ModeCallout,
+				GridMap: bf.gridMap(), VOPolicy: pol.Unparse(),
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Cleanup(res.Close)
+			c := bf.client(b, res, ana)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := c.Submit(benchAnalystJob, ""); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkP2_PolicyScaling sweeps policy size and shape for the pure
+// evaluation path, comparing the naive linear statement scan against the
+// identity index (the ablation DESIGN.md calls out).
+func BenchmarkP2_PolicyScaling(b *testing.B) {
+	users := workload.NFCUsers(0, 200, 0)
+	for _, stmts := range []int{10, 100, 1000, 5000} {
+		pol, err := workload.SyntheticPolicy(users, stmts, 2, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		idx := policy.NewIndex(pol)
+		// A request matching the LAST statement (worst case for linear).
+		last := stmts - 1
+		u := users[last%len(users)]
+		spec := rsl.NewSpec().
+			Set("executable", fmt.Sprintf("exe%d-0", last)).
+			Set("attr2", "v2").Set("attr3", "v3")
+		req := &policy.Request{Subject: u.DN, Action: policy.ActionStart, Spec: spec}
+		b.Run(fmt.Sprintf("linear/statements=%d", stmts), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				pol.Evaluate(req)
+			}
+		})
+		b.Run(fmt.Sprintf("indexed/statements=%d", stmts), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				idx.Evaluate(req)
+			}
+		})
+	}
+}
+
+// BenchmarkP3_RSLParse measures job-description parse+canonicalize
+// throughput as descriptions grow.
+func BenchmarkP3_RSLParse(b *testing.B) {
+	for _, n := range []int{5, 20, 50, 200} {
+		text := workload.SyntheticRSL(n)
+		b.Run(fmt.Sprintf("attrs=%d", n), func(b *testing.B) {
+			b.SetBytes(int64(len(text)))
+			for i := 0; i < b.N; i++ {
+				if _, err := rsl.ParseSpec(text); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkP4_PDPBackends runs the same NFC start decision through the
+// three backends the paper integrated: plaintext policy files, Akenti
+// use conditions, and CAS restricted credentials.
+func BenchmarkP4_PDPBackends(b *testing.B) {
+	bf := newBenchFabric(b, 3)
+	ana := analystOf(bf)
+	spec := mustBenchSpec(b, benchAnalystJob)
+
+	b.Run("plainfile", func(b *testing.B) {
+		pdp := &core.PolicyPDP{Policy: bf.voPol}
+		req := &core.Request{Subject: ana, Action: policy.ActionStart, Spec: spec}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if d := pdp.Authorize(req); d.Effect != core.Permit {
+				b.Fatal(d.Reason)
+			}
+		}
+	})
+	b.Run("akenti", func(b *testing.B) {
+		stakeholder, err := bf.fab.IssueService("/O=Grid/CN=Stakeholder")
+		if err != nil {
+			b.Fatal(err)
+		}
+		engine := akenti.NewEngine()
+		engine.TrustStakeholder(stakeholder.Leaf())
+		engine.TrustAttributeIssuer(stakeholder.Leaf())
+		uc := &akenti.UseCondition{
+			Resource:     "gram:bench",
+			Actions:      []string{policy.ActionStart},
+			Requirements: []akenti.Requirement{{Attribute: "member", Value: "NFC"}},
+			Constraint:   "(executable = TRANSP EFIT)(count<=64)",
+			NotBefore:    time.Now().Add(-time.Minute),
+			NotAfter:     time.Now().Add(24 * time.Hour),
+		}
+		if err := akenti.SignUseCondition(uc, stakeholder); err != nil {
+			b.Fatal(err)
+		}
+		if err := engine.AddUseCondition(uc); err != nil {
+			b.Fatal(err)
+		}
+		ac := &akenti.AttributeCertificate{
+			Subject: ana, Attribute: "member", Value: "NFC",
+			NotBefore: time.Now().Add(-time.Minute), NotAfter: time.Now().Add(24 * time.Hour),
+		}
+		if err := akenti.SignAttribute(ac, stakeholder); err != nil {
+			b.Fatal(err)
+		}
+		if err := engine.StoreAttribute(ac); err != nil {
+			b.Fatal(err)
+		}
+		pdp := &akenti.PDP{Engine: engine, Resource: "gram:bench"}
+		req := &core.Request{Subject: ana, Action: policy.ActionStart, Spec: spec}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if d := pdp.Authorize(req); d.Effect != core.Permit {
+				b.Fatal(d.Reason)
+			}
+		}
+	})
+	b.Run("cas", func(b *testing.B) {
+		casCred, err := bf.fab.IssueService("/O=Grid/CN=Bench CAS")
+		if err != nil {
+			b.Fatal(err)
+		}
+		server := cas.NewServer("NFC", casCred, bf.voPol)
+		grant, err := server.Grant(ana)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pdp := &cas.PDP{Community: "NFC", Cert: server.Certificate()}
+		req := &core.Request{
+			Subject: ana, Action: policy.ActionStart, Spec: spec,
+			Assertions: []*gsi.Assertion{grant},
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if d := pdp.Authorize(req); d.Effect != core.Permit {
+				b.Fatal(d.Reason)
+			}
+		}
+	})
+}
+
+// BenchmarkP5_GRAMEndToEnd measures concurrent submit+cancel round trips
+// through real sockets at increasing client parallelism.
+func BenchmarkP5_GRAMEndToEnd(b *testing.B) {
+	bf := newBenchFabric(b, 3)
+	ana := analystOf(bf)
+	for _, par := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("clients=%d", par), func(b *testing.B) {
+			res := bf.resource(b, ModeCallout)
+			b.SetParallelism(par)
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				c, err := res.Client(bf.creds[ana])
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				defer c.Close()
+				for pb.Next() {
+					contact, err := c.Submit(benchAnalystJob, "")
+					if err != nil {
+						b.Error(err)
+						return
+					}
+					if err := c.Cancel(contact); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkAblation_CombineModes compares decision-combination
+// algorithms over the same two-source (VO + local) configuration — the
+// ablation DESIGN.md calls out for the paper's require-all rule.
+func BenchmarkAblation_CombineModes(b *testing.B) {
+	users := workload.NFCUsers(1, 1, 1)
+	voPol, err := workload.NFCPolicy(users)
+	if err != nil {
+		b.Fatal(err)
+	}
+	local, err := workload.NFCLocalPolicy()
+	if err != nil {
+		b.Fatal(err)
+	}
+	pdps := []core.PDP{
+		&core.PolicyPDP{Policy: voPol},
+		&core.PolicyPDP{Policy: local},
+	}
+	req := &core.Request{
+		Subject: users[1].DN,
+		Action:  policy.ActionStart,
+		Spec:    mustBenchSpec(b, benchAnalystJob),
+	}
+	modes := []core.CombineMode{
+		core.RequireAllPermit, core.DenyOverrides, core.PermitOverrides, core.FirstApplicable,
+	}
+	for _, mode := range modes {
+		b.Run(mode.String(), func(b *testing.B) {
+			combined := core.NewCombined(mode, pdps...)
+			for i := 0; i < b.N; i++ {
+				if d := combined.Authorize(req); d.Effect != core.Permit {
+					b.Fatal(d.Reason)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblation_PEPPlacement compares end-to-end management latency
+// with the PEP in the Job Manager vs the Gatekeeper (§6.2).
+func BenchmarkAblation_PEPPlacement(b *testing.B) {
+	bf := newBenchFabric(b, 3)
+	ana := analystOf(bf)
+	for _, placement := range []Placement{PlacementJobManager, PlacementGatekeeper} {
+		name := "job-manager"
+		if placement == PlacementGatekeeper {
+			name = "gatekeeper"
+		}
+		b.Run(name, func(b *testing.B) {
+			res, err := bf.fab.StartResource(ResourceConfig{
+				Name: "pep.anl.gov", CPUs: 1 << 20, Mode: ModeCallout, Placement: placement,
+				GridMap: bf.gridMap(), VOPolicy: bf.voPol.Unparse(), LocalPolicy: bf.local.Unparse(),
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Cleanup(res.Close)
+			c := bf.client(b, res, ana)
+			contact, err := c.Submit(benchAnalystJob, "")
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := c.Status(contact); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- helpers ---
+
+func analystOf(bf *benchFabric) gsi.DN {
+	for _, u := range bf.users {
+		if u.Role == "analyst" {
+			return u.DN
+		}
+	}
+	return bf.users[0].DN
+}
+
+func mustBenchSpec(b *testing.B, text string) *rsl.Spec {
+	b.Helper()
+	s, err := rsl.ParseSpec(text)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s
+}

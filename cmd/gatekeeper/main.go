@@ -1,0 +1,254 @@
+// Command gatekeeper runs a GRAM resource: GSI-authenticated TCP
+// endpoint, grid-mapfile admission, fine-grain policy callouts, a
+// simulated cluster behind it.
+//
+// Because the GSI layer is simulated, the gatekeeper bootstraps its own
+// trust fabric on first start: it creates a CA, its service credential,
+// and a credential for every identity in the grid-mapfile, and writes
+// them into the -state directory. The gramclient command reads the same
+// directory, so a two-terminal demo is:
+//
+//	gatekeeper -listen 127.0.0.1:7512 -state /tmp/grid \
+//	    -gridmap gridmap -vo-policy vo.policy -local-policy local.policy \
+//	    -mode callout
+//	gramclient -state /tmp/grid -user "/O=Grid/CN=Alice" \
+//	    -server 127.0.0.1:7512 \
+//	    submit "&(executable=sim)(count=2)(jobtag=demo)"
+//
+// The simulated cluster's virtual clock advances in real time: every
+// wall-clock second advances the cluster by -tick (default 1s).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
+
+	"gridauth/internal/accounts"
+	"gridauth/internal/core"
+	"gridauth/internal/gram"
+	"gridauth/internal/gridmap"
+	"gridauth/internal/gsi"
+	"gridauth/internal/jobcontrol"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		log.Fatal("gatekeeper: ", err)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("gatekeeper", flag.ContinueOnError)
+	listen := fs.String("listen", "127.0.0.1:7512", "address to listen on")
+	state := fs.String("state", "", "state directory for simulated GSI credentials (required)")
+	gridmapPath := fs.String("gridmap", "", "grid-mapfile path (required)")
+	voPolicy := fs.String("vo-policy", "", "VO policy file")
+	localPolicy := fs.String("local-policy", "", "resource owner policy file")
+	calloutCfg := fs.String("callout-config", "", "callout configuration file (alternative to -vo-policy/-local-policy)")
+	mode := fs.String("mode", "legacy", "authorization mode: legacy or callout")
+	placement := fs.String("placement", "job-manager", "PEP placement: job-manager or gatekeeper")
+	cpus := fs.Int("cpus", 16, "cluster CPU count")
+	dynamic := fs.Bool("dynamic-accounts", false, "lease dynamic accounts for unmapped users")
+	tick := fs.Duration("tick", time.Second, "virtual-clock advance per wall-clock second")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *state == "" || *gridmapPath == "" {
+		return fmt.Errorf("-state and -gridmap are required")
+	}
+
+	gmapFile, err := os.Open(*gridmapPath)
+	if err != nil {
+		return err
+	}
+	gmap, err := gridmap.Parse(gmapFile)
+	gmapFile.Close()
+	if err != nil {
+		return err
+	}
+
+	ca, gkCred, trust, err := bootstrapFabric(*state, gmap)
+	if err != nil {
+		return err
+	}
+	_ = ca
+
+	acctMgr := accounts.NewManager()
+	for _, id := range gmap.Identities() {
+		for _, a := range gmap.Accounts(id) {
+			if !acctMgr.Exists(a) {
+				acctMgr.AddStatic(a, accounts.Rights{})
+			}
+		}
+	}
+	if *dynamic {
+		acctMgr.ProvisionPool("grid", 32)
+	}
+
+	reg := core.NewRegistry()
+	core.RegisterBuiltinDrivers(reg)
+	gkMode := gram.AuthzLegacy
+	if *mode == "callout" {
+		gkMode = gram.AuthzCallout
+		var lines []string
+		if *voPolicy != "" {
+			lines = append(lines,
+				core.CalloutJobManager+" plainfile path="+*voPolicy+" source=VO",
+				core.CalloutGatekeeper+" plainfile path="+*voPolicy+" source=VO")
+		}
+		if *localPolicy != "" {
+			lines = append(lines,
+				core.CalloutJobManager+" plainfile path="+*localPolicy+" source=local",
+				core.CalloutGatekeeper+" plainfile path="+*localPolicy+" source=local")
+		}
+		if len(lines) > 0 {
+			if err := reg.LoadConfigString(strings.Join(lines, "\n")); err != nil {
+				return err
+			}
+		}
+		if *calloutCfg != "" {
+			f, err := os.Open(*calloutCfg)
+			if err != nil {
+				return err
+			}
+			err = reg.LoadConfig(f)
+			f.Close()
+			if err != nil {
+				return err
+			}
+		}
+		if !reg.Configured(core.CalloutJobManager) && !reg.Configured(core.CalloutGatekeeper) {
+			return fmt.Errorf("callout mode needs -vo-policy, -local-policy or -callout-config")
+		}
+	}
+	gkPlacement := gram.PlacementJM
+	if *placement == "gatekeeper" {
+		gkPlacement = gram.PlacementGatekeeper
+	}
+
+	cluster := jobcontrol.NewCluster(*cpus)
+	gk, err := gram.NewGatekeeper(gram.Config{
+		Credential:      gkCred,
+		Trust:           trust,
+		GridMap:         gmap,
+		Accounts:        acctMgr,
+		DynamicAccounts: *dynamic,
+		Registry:        reg,
+		Mode:            gkMode,
+		Placement:       gkPlacement,
+		Cluster:         cluster,
+	})
+	if err != nil {
+		return err
+	}
+
+	l, err := net.Listen("tcp", *listen)
+	if err != nil {
+		return err
+	}
+	log.Printf("gatekeeper: listening on %s (mode=%s, placement=%s, cpus=%d)", l.Addr(), *mode, *placement, *cpus)
+
+	// Advance the simulated cluster clock in real time.
+	stopTicker := make(chan struct{})
+	tickerDone := make(chan struct{})
+	go func() {
+		defer close(tickerDone)
+		t := time.NewTicker(time.Second)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				cluster.Advance(*tick)
+			case <-stopTicker:
+				return
+			}
+		}
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- gk.Serve(l) }()
+	select {
+	case err := <-serveErr:
+		close(stopTicker)
+		<-tickerDone
+		return err
+	case s := <-sig:
+		log.Printf("gatekeeper: received %s, shutting down", s)
+		gk.Close()
+		close(stopTicker)
+		<-tickerDone
+		return nil
+	}
+}
+
+// bootstrapFabric creates (or reloads) the simulated trust fabric in the
+// state directory: ca.cert, gatekeeper.cred, and users/<n>.cred for each
+// grid-mapfile identity.
+func bootstrapFabric(dir string, gmap *gridmap.Map) (*gsi.CA, *gsi.Credential, *gsi.TrustStore, error) {
+	if err := os.MkdirAll(filepath.Join(dir, "users"), 0o700); err != nil {
+		return nil, nil, nil, err
+	}
+	caCertPath := filepath.Join(dir, "ca.cert")
+	caCredPath := filepath.Join(dir, "ca.cred")
+	gkCredPath := filepath.Join(dir, "gatekeeper.cred")
+
+	var (
+		ca     *gsi.CA
+		gkCred *gsi.Credential
+	)
+	if _, err := os.Stat(caCredPath); err == nil {
+		// Existing fabric: a CA credential cannot be rehydrated into a
+		// *gsi.CA (it holds unexported state), so a fresh start reuses
+		// only the anchors and the gatekeeper credential; user
+		// credentials must already exist.
+		caCert, err := gsi.LoadCertificate(caCertPath)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		gkCred, err = gsi.LoadCredential(gkCredPath)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		return nil, gkCred, gsi.NewTrustStore(caCert), nil
+	}
+
+	ca, err := gsi.NewCA("/O=Grid/CN=Simulated Fabric CA", gsi.WithTTL(30*24*time.Hour))
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if err := gsi.SaveCertificate(ca.Certificate(), caCertPath); err != nil {
+		return nil, nil, nil, err
+	}
+	if err := gsi.SaveCredential(ca.Credential(), caCredPath); err != nil {
+		return nil, nil, nil, err
+	}
+	gkCred, err = ca.Issue("/O=Grid/CN=gatekeeper/local", gsi.KindService)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if err := gsi.SaveCredential(gkCred, gkCredPath); err != nil {
+		return nil, nil, nil, err
+	}
+	for i, id := range gmap.Identities() {
+		cred, err := ca.Issue(id, gsi.KindUser)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		path := filepath.Join(dir, "users", fmt.Sprintf("user%03d.cred", i))
+		if err := gsi.SaveCredential(cred, path); err != nil {
+			return nil, nil, nil, err
+		}
+		log.Printf("gatekeeper: issued credential for %s -> %s", id, path)
+	}
+	return ca, gkCred, gsi.NewTrustStore(ca.Certificate()), nil
+}

@@ -1,0 +1,133 @@
+// Command gramclient is the user-side GRAM tool (the globusrun role): it
+// loads a user credential from the shared state directory written by the
+// gatekeeper command, authenticates, and submits or manages jobs.
+//
+//	gramclient -state /tmp/grid -user "/O=Grid/CN=Alice" -server 127.0.0.1:7512 \
+//	    submit "&(executable=sim)(count=2)(jobtag=demo)(simduration=120)"
+//	gramclient ... status  gram://local/job/1
+//	gramclient ... cancel  gram://local/job/1
+//	gramclient ... signal  gram://local/job/1 suspend
+//	gramclient ... signal  gram://local/job/1 priority 9
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"time"
+
+	"gridauth/internal/gram"
+	"gridauth/internal/gsi"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		log.Fatal("gramclient: ", err)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("gramclient", flag.ContinueOnError)
+	state := fs.String("state", "", "state directory shared with the gatekeeper (required)")
+	user := fs.String("user", "", "user DN to act as (required)")
+	server := fs.String("server", "127.0.0.1:7512", "gatekeeper address")
+	account := fs.String("account", "", "requested local account (submit only)")
+	assertionPath := fs.String("assertion", "", "VO assertion file to present")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rest := fs.Args()
+	if *state == "" || *user == "" || len(rest) == 0 {
+		return fmt.Errorf("usage: gramclient -state DIR -user DN [-server ADDR] submit RSL | status CONTACT | cancel CONTACT | signal CONTACT SIG [ARG]")
+	}
+
+	cred, err := findUserCredential(*state, gsi.DN(*user))
+	if err != nil {
+		return err
+	}
+	caCert, err := gsi.LoadCertificate(filepath.Join(*state, "ca.cert"))
+	if err != nil {
+		return err
+	}
+	proxy, err := gsi.Delegate(cred, 12*time.Hour, false)
+	if err != nil {
+		return err
+	}
+	var assertions []*gsi.Assertion
+	if *assertionPath != "" {
+		a, err := gsi.LoadAssertion(*assertionPath)
+		if err != nil {
+			return err
+		}
+		assertions = append(assertions, a)
+	}
+	client := gram.NewClient(*server, proxy, gsi.NewTrustStore(caCert), assertions...)
+	defer client.Close()
+
+	switch rest[0] {
+	case "submit":
+		if len(rest) != 2 {
+			return fmt.Errorf("submit needs exactly one RSL argument")
+		}
+		contact, err := client.Submit(rest[1], *account)
+		if err != nil {
+			return err
+		}
+		fmt.Println(contact)
+		return nil
+	case "status":
+		if len(rest) != 2 {
+			return fmt.Errorf("status needs a job contact")
+		}
+		st, err := client.Status(rest[1])
+		if err != nil {
+			return err
+		}
+		fmt.Printf("state:  %s\nowner:  %s\n", st.State, st.Owner)
+		if st.Detail != "" {
+			fmt.Printf("detail: %s\n", st.Detail)
+		}
+		return nil
+	case "cancel":
+		if len(rest) != 2 {
+			return fmt.Errorf("cancel needs a job contact")
+		}
+		return client.Cancel(rest[1])
+	case "signal":
+		if len(rest) < 3 {
+			return fmt.Errorf("signal needs a job contact and a signal name")
+		}
+		arg := ""
+		if len(rest) > 3 {
+			arg = rest[3]
+		}
+		return client.Signal(rest[1], rest[2], arg)
+	default:
+		return fmt.Errorf("unknown subcommand %q", rest[0])
+	}
+}
+
+// findUserCredential scans the state directory for the credential whose
+// identity matches dn.
+func findUserCredential(state string, dn gsi.DN) (*gsi.Credential, error) {
+	dir := filepath.Join(state, "users")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		cred, err := gsi.LoadCredential(filepath.Join(dir, e.Name()))
+		if err != nil {
+			continue
+		}
+		if cred.Identity() == dn {
+			return cred, nil
+		}
+	}
+	return nil, fmt.Errorf("no credential for %s under %s (is it in the grid-mapfile?)", dn, dir)
+}

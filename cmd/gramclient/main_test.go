@@ -1,0 +1,61 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"gridauth/internal/gsi"
+)
+
+func TestFindUserCredential(t *testing.T) {
+	dir := t.TempDir()
+	users := filepath.Join(dir, "users")
+	if err := os.MkdirAll(users, 0o700); err != nil {
+		t.Fatal(err)
+	}
+	ca, err := gsi.NewCA("/O=Grid/CN=CA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, dn := range []gsi.DN{"/O=Grid/CN=Alice", "/O=Grid/CN=Bob"} {
+		cred, err := ca.Issue(dn, gsi.KindUser)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := gsi.SaveCredential(cred, filepath.Join(users, string(dn.CN())+".cred")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Noise the scanner must skip.
+	if err := os.WriteFile(filepath.Join(users, "garbage"), []byte("not json"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+
+	cred, err := findUserCredential(dir, "/O=Grid/CN=Bob")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cred.Identity() != "/O=Grid/CN=Bob" {
+		t.Errorf("identity = %s", cred.Identity())
+	}
+	if _, err := findUserCredential(dir, "/O=Grid/CN=Nobody"); err == nil {
+		t.Errorf("missing user found")
+	}
+	if _, err := findUserCredential(t.TempDir(), "/O=Grid/CN=Alice"); err == nil {
+		t.Errorf("missing directory tolerated")
+	}
+}
+
+func TestRunUsageErrors(t *testing.T) {
+	cases := [][]string{
+		{},
+		{"-state", t.TempDir()}, // no user/command
+		{"-state", t.TempDir(), "-user", "/O=G/CN=A"}, // no command
+	}
+	for i, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}

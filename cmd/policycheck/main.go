@@ -1,0 +1,123 @@
+// Command policycheck evaluates authorization requests against policy
+// files in the paper's language, offline. It is the policy
+// administrator's lint-and-what-if tool:
+//
+//	policycheck -policy vo.policy -policy local.policy \
+//	    -subject "/O=Grid/O=Globus/OU=mcs.anl.gov/CN=Bo Liu" \
+//	    -action start \
+//	    -rsl "&(executable=test1)(directory=/sandbox/test)(jobtag=ADS)(count=2)"
+//
+// With -lint only, it parses the policies and prints their canonical
+// form. The exit status is 0 for permit, 1 for deny, 2 for usage or
+// policy errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"gridauth/internal/core"
+	"gridauth/internal/gsi"
+	"gridauth/internal/policy"
+	"gridauth/internal/rsl"
+)
+
+type stringList []string
+
+func (s *stringList) String() string { return strings.Join(*s, ",") }
+
+func (s *stringList) Set(v string) error {
+	*s = append(*s, v)
+	return nil
+}
+
+func main() {
+	code, err := run(os.Args[1:])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "policycheck:", err)
+	}
+	os.Exit(code)
+}
+
+func run(args []string) (int, error) {
+	fs := flag.NewFlagSet("policycheck", flag.ContinueOnError)
+	var policies stringList
+	fs.Var(&policies, "policy", "policy file (repeatable; each file is one administrative source)")
+	subject := fs.String("subject", "", "requesting Grid identity (DN)")
+	action := fs.String("action", policy.ActionStart, "action: start, cancel, information or signal")
+	owner := fs.String("owner", "", "job initiator DN, for management actions")
+	rslText := fs.String("rsl", "", "RSL job description")
+	lint := fs.Bool("lint", false, "only parse the policies and print their canonical form")
+	mode := fs.String("combine", "require-all", "combination: require-all, deny-overrides, permit-overrides, first-applicable")
+	if err := fs.Parse(args); err != nil {
+		return 2, nil
+	}
+	if len(policies) == 0 {
+		return 2, fmt.Errorf("at least one -policy file is required")
+	}
+
+	var pdps []core.PDP
+	for _, path := range policies {
+		f, err := os.Open(path)
+		if err != nil {
+			return 2, err
+		}
+		pol, perr := policy.Parse(f, path)
+		f.Close()
+		if perr != nil {
+			return 2, perr
+		}
+		if *lint {
+			fmt.Printf("# %s: %d statements\n%s", path, len(pol.Statements), pol.Unparse())
+			continue
+		}
+		pdps = append(pdps, &core.PolicyPDP{Policy: pol})
+	}
+	if *lint {
+		return 0, nil
+	}
+
+	if *subject == "" {
+		return 2, fmt.Errorf("-subject is required")
+	}
+	if !gsi.DN(*subject).Valid() {
+		return 2, fmt.Errorf("invalid subject DN %q", *subject)
+	}
+	var spec *rsl.Spec
+	if *rslText != "" {
+		s, err := rsl.ParseSpec(*rslText)
+		if err != nil {
+			return 2, err
+		}
+		spec = s
+	}
+
+	var combine core.CombineMode
+	switch *mode {
+	case "require-all":
+		combine = core.RequireAllPermit
+	case "deny-overrides":
+		combine = core.DenyOverrides
+	case "permit-overrides":
+		combine = core.PermitOverrides
+	case "first-applicable":
+		combine = core.FirstApplicable
+	default:
+		return 2, fmt.Errorf("unknown -combine %q", *mode)
+	}
+
+	req := &core.Request{
+		Subject:  gsi.DN(*subject),
+		Action:   *action,
+		JobOwner: gsi.DN(*owner),
+		Spec:     spec,
+	}
+	d := core.NewCombined(combine, pdps...).Authorize(req)
+	fmt.Printf("%s\nsource: %s\nreason: %s\n", strings.ToUpper(d.Effect.String()), d.Source, d.Reason)
+	if d.Effect == core.Permit {
+		return 0, nil
+	}
+	return 1, nil
+}

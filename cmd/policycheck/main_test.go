@@ -1,0 +1,108 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeTemp(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const voPolicy = `
+/O=Grid/O=Globus/OU=mcs.anl.gov/CN=Bo Liu: &(action = start)(executable = test1)(jobtag = ADS)(count<4)
+`
+
+const localPolicy = `
+/O=Grid: &(action = start)(queue != fast)
+`
+
+func TestPermitExitZero(t *testing.T) {
+	vo := writeTemp(t, "vo.policy", voPolicy)
+	local := writeTemp(t, "local.policy", localPolicy)
+	code, err := run([]string{
+		"-policy", vo, "-policy", local,
+		"-subject", "/O=Grid/O=Globus/OU=mcs.anl.gov/CN=Bo Liu",
+		"-action", "start",
+		"-rsl", `&(executable=test1)(jobtag=ADS)(count=2)`,
+	})
+	if err != nil || code != 0 {
+		t.Fatalf("code=%d err=%v", code, err)
+	}
+}
+
+func TestDenyExitOne(t *testing.T) {
+	vo := writeTemp(t, "vo.policy", voPolicy)
+	code, err := run([]string{
+		"-policy", vo,
+		"-subject", "/O=Grid/O=Globus/OU=mcs.anl.gov/CN=Bo Liu",
+		"-rsl", `&(executable=test1)(jobtag=ADS)(count=9)`,
+	})
+	if err != nil || code != 1 {
+		t.Fatalf("code=%d err=%v", code, err)
+	}
+}
+
+func TestLint(t *testing.T) {
+	vo := writeTemp(t, "vo.policy", voPolicy)
+	code, err := run([]string{"-policy", vo, "-lint"})
+	if err != nil || code != 0 {
+		t.Fatalf("code=%d err=%v", code, err)
+	}
+	bad := writeTemp(t, "bad.policy", "((broken")
+	code, err = run([]string{"-policy", bad, "-lint"})
+	if code != 2 || err == nil {
+		t.Fatalf("bad policy: code=%d err=%v", code, err)
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	vo := writeTemp(t, "vo.policy", voPolicy)
+	cases := [][]string{
+		{},                                      // no policy
+		{"-policy", vo},                         // no subject
+		{"-policy", vo, "-subject", "nonsense"}, // bad DN
+		{"-policy", vo, "-subject", "/O=Grid/CN=x", "-rsl", "(("},           // bad RSL
+		{"-policy", vo, "-subject", "/O=Grid/CN=x", "-combine", "weirdest"}, // bad mode
+		{"-policy", filepath.Join(t.TempDir(), "missing")},                  // unreadable
+	}
+	for i, args := range cases {
+		if code, _ := run(args); code != 2 {
+			t.Errorf("case %d: code = %d, want 2", i, code)
+		}
+	}
+}
+
+func TestCombineModes(t *testing.T) {
+	vo := writeTemp(t, "vo.policy", voPolicy)
+	local := writeTemp(t, "local.policy", localPolicy)
+	// permit-overrides: VO grant wins even with a second denying source.
+	deny := writeTemp(t, "deny.policy", `
+/O=Grid: &(action = start)(executable = nothing-matches-this)
+`)
+	code, err := run([]string{
+		"-policy", vo, "-policy", local, "-policy", deny,
+		"-combine", "permit-overrides",
+		"-subject", "/O=Grid/O=Globus/OU=mcs.anl.gov/CN=Bo Liu",
+		"-rsl", `&(executable=test1)(jobtag=ADS)(count=2)`,
+	})
+	if err != nil || code != 0 {
+		t.Fatalf("permit-overrides: code=%d err=%v", code, err)
+	}
+	for _, mode := range []string{"require-all", "deny-overrides", "first-applicable"} {
+		code, err := run([]string{
+			"-policy", vo, "-combine", mode,
+			"-subject", "/O=Grid/O=Globus/OU=mcs.anl.gov/CN=Bo Liu",
+			"-rsl", `&(executable=test1)(jobtag=ADS)(count=2)`,
+		})
+		if err != nil || code != 0 {
+			t.Fatalf("%s: code=%d err=%v", mode, code, err)
+		}
+	}
+}

@@ -1,0 +1,199 @@
+// Command voadmin administers a Virtual Organization for the simulated
+// fabric: it keeps a VO state file (members, roles, jobtags), issues VO
+// attribute assertions, and renders the VO's policy in the paper's
+// language from role templates.
+//
+//	voadmin -state /tmp/grid -vo NFC init
+//	voadmin -state /tmp/grid -vo NFC jobtag add NFC "fusion runs" admin
+//	voadmin -state /tmp/grid -vo NFC member add "/O=Grid/CN=Kate" analyst,admin NFC
+//	voadmin -state /tmp/grid -vo NFC assert "/O=Grid/CN=Kate" kate.assertion
+//	voadmin -state /tmp/grid -vo NFC policy vo.policy
+//
+// The VO signing credential is issued by the fabric CA created by the
+// gatekeeper command in the same -state directory.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"gridauth/internal/gsi"
+	"gridauth/internal/vo"
+)
+
+// voState is the serialized VO bookkeeping.
+type voState struct {
+	Name    string      `json:"name"`
+	Members []voMember  `json:"members"`
+	Jobtags []vo.Jobtag `json:"jobtags"`
+}
+
+type voMember struct {
+	Identity gsi.DN   `json:"identity"`
+	Roles    []string `json:"roles"`
+	Jobtags  []string `json:"jobtags"`
+}
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		log.Fatal("voadmin: ", err)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("voadmin", flag.ContinueOnError)
+	state := fs.String("state", "", "state directory shared with the gatekeeper (required)")
+	voName := fs.String("vo", "", "VO name (required)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rest := fs.Args()
+	if *state == "" || *voName == "" || len(rest) == 0 {
+		return fmt.Errorf("usage: voadmin -state DIR -vo NAME init | jobtag add NAME DESC ROLE | member add DN ROLES TAGS | assert DN OUT | policy OUT")
+	}
+	statePath := filepath.Join(*state, "vo-"+*voName+".json")
+	credPath := filepath.Join(*state, "vo-"+*voName+".cred")
+
+	switch rest[0] {
+	case "init":
+		caCred, err := gsi.LoadCredential(filepath.Join(*state, "ca.cred"))
+		if err != nil {
+			return fmt.Errorf("load fabric CA (run the gatekeeper once first): %w", err)
+		}
+		// Sign the VO credential directly with the stored CA key.
+		voCred, err := issueWithCA(caCred, gsi.DN("/O=Grid/CN="+*voName+" VO"))
+		if err != nil {
+			return err
+		}
+		if err := gsi.SaveCredential(voCred, credPath); err != nil {
+			return err
+		}
+		return saveState(statePath, &voState{Name: *voName})
+	case "jobtag":
+		if len(rest) != 5 || rest[1] != "add" {
+			return fmt.Errorf("usage: jobtag add NAME DESCRIPTION MANAGER-ROLE")
+		}
+		st, err := loadState(statePath)
+		if err != nil {
+			return err
+		}
+		for _, t := range st.Jobtags {
+			if t.Name == rest[2] {
+				return fmt.Errorf("jobtag %q already defined", rest[2])
+			}
+		}
+		st.Jobtags = append(st.Jobtags, vo.Jobtag{Name: rest[2], Description: rest[3], ManagerRole: rest[4]})
+		return saveState(statePath, st)
+	case "member":
+		if len(rest) != 5 || rest[1] != "add" {
+			return fmt.Errorf("usage: member add DN ROLE[,ROLE...] TAG[,TAG...]")
+		}
+		st, err := loadState(statePath)
+		if err != nil {
+			return err
+		}
+		dn := gsi.DN(rest[2])
+		if !dn.Valid() {
+			return fmt.Errorf("invalid DN %q", rest[2])
+		}
+		m := voMember{Identity: dn, Roles: splitList(rest[3]), Jobtags: splitList(rest[4])}
+		st.Members = append(st.Members, m)
+		return saveState(statePath, st)
+	case "assert":
+		if len(rest) != 3 {
+			return fmt.Errorf("usage: assert DN OUTPUT-FILE")
+		}
+		v, err := buildVO(statePath, credPath)
+		if err != nil {
+			return err
+		}
+		a, err := v.IssueAssertion(gsi.DN(rest[1]))
+		if err != nil {
+			return err
+		}
+		return gsi.SaveAssertion(a, rest[2])
+	case "policy":
+		if len(rest) != 2 {
+			return fmt.Errorf("usage: policy OUTPUT-FILE")
+		}
+		v, err := buildVO(statePath, credPath)
+		if err != nil {
+			return err
+		}
+		pol, err := vo.NewPolicyBuilder(v).Build()
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(rest[1], []byte(pol.Unparse()), 0o644)
+	default:
+		return fmt.Errorf("unknown subcommand %q", rest[0])
+	}
+}
+
+func splitList(s string) []string {
+	if s == "" || s == "-" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]string, 0, len(parts))
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func loadState(path string) (*voState, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("load VO state (did you run init?): %w", err)
+	}
+	var st voState
+	if err := json.Unmarshal(b, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+func saveState(path string, st *voState) error {
+	b, err := json.MarshalIndent(st, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, b, 0o600)
+}
+
+func buildVO(statePath, credPath string) (*vo.VO, error) {
+	st, err := loadState(statePath)
+	if err != nil {
+		return nil, err
+	}
+	cred, err := gsi.LoadCredential(credPath)
+	if err != nil {
+		return nil, err
+	}
+	v := vo.New(st.Name, cred)
+	for _, t := range st.Jobtags {
+		if err := v.DefineJobtag(t); err != nil {
+			return nil, err
+		}
+	}
+	for _, m := range st.Members {
+		if err := v.AddMember(&vo.Member{Identity: m.Identity, Roles: m.Roles, Jobtags: m.Jobtags}); err != nil {
+			return nil, err
+		}
+	}
+	return v, nil
+}
+
+// issueWithCA signs a service certificate for subject using a stored CA
+// credential (the CA object itself is not serializable).
+func issueWithCA(caCred *gsi.Credential, subject gsi.DN) (*gsi.Credential, error) {
+	return gsi.IssueWithCredential(caCred, subject, gsi.KindService)
+}

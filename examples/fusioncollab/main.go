@@ -1,0 +1,174 @@
+// Fusioncollab replays the paper's §2 use case — the National Fusion
+// Collaboratory — end to end over TCP:
+//
+//   - the VO has a development group (small allocations, many tools) and
+//     an analysis group (large allocations, sanctioned services only);
+//
+//   - every job must join a jobtag management group;
+//
+//   - VO administrators manage any job in those groups, including
+//     suspending a long-running simulation to run a short-notice
+//     high-priority demo "for a funding agency".
+//
+//     go run ./examples/fusioncollab
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"gridauth"
+	"gridauth/internal/gram"
+	"gridauth/internal/gsi"
+	"gridauth/internal/vo"
+	"gridauth/internal/workload"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	fab, err := gridauth.NewFabric("/O=Grid/CN=NFC Fabric CA")
+	if err != nil {
+		return err
+	}
+
+	// The VO: one developer, one analyst, one admin.
+	users := workload.NFCUsers(1, 1, 1)
+	dev, ana, adm := users[0], users[1], users[2]
+	nfc, err := fab.NewVO("NFC", "/O=Grid/CN=NFC VO")
+	if err != nil {
+		return err
+	}
+	if err := nfc.DefineJobtag(vo.Jobtag{Name: "NFC", Description: "fusion analysis runs", ManagerRole: vo.RoleAdmin}); err != nil {
+		return err
+	}
+	if err := nfc.DefineJobtag(vo.Jobtag{Name: "ADS", Description: "application development and support", ManagerRole: vo.RoleAdmin}); err != nil {
+		return err
+	}
+
+	creds := map[string]*gsi.Credential{}
+	memberships := []struct {
+		u     workload.User
+		roles []string
+		tags  []string
+	}{
+		{dev, []string{vo.RoleDeveloper}, []string{"ADS"}},
+		{ana, []string{vo.RoleAnalyst}, []string{"NFC"}},
+		{adm, []string{vo.RoleAnalyst, vo.RoleAdmin}, []string{"NFC", "ADS"}},
+	}
+	for _, m := range memberships {
+		cred, err := fab.IssueUser(string(m.u.DN))
+		if err != nil {
+			return err
+		}
+		creds[m.u.Role] = cred
+		if err := nfc.AddMember(&vo.Member{Identity: m.u.DN, Roles: m.roles, Jobtags: m.tags}); err != nil {
+			return err
+		}
+	}
+
+	// The resource: VO policy from the role templates, the owner's local
+	// policy on top, assertions verified at the gate.
+	voPol, err := workload.NFCPolicy(users)
+	if err != nil {
+		return err
+	}
+	localPol, err := workload.NFCLocalPolicy()
+	if err != nil {
+		return err
+	}
+	res, err := fab.StartResource(gridauth.ResourceConfig{
+		Name:        "fusion.anl.gov",
+		CPUs:        8,
+		Mode:        gridauth.ModeCallout,
+		GridMap:     map[gsi.DN][]string{dev.DN: {"dev"}, ana.DN: {"ana"}, adm.DN: {"adm"}},
+		VOPolicy:    voPol.Unparse(),
+		LocalPolicy: localPol.Unparse(),
+		VOs:         []*vo.VO{nfc},
+	})
+	if err != nil {
+		return err
+	}
+	defer res.Close()
+	fmt.Println("fusion.anl.gov gatekeeper on", res.Addr)
+
+	client := func(role string, dn gsi.DN) (*gram.Client, error) {
+		a, err := nfc.IssueAssertion(dn)
+		if err != nil {
+			return nil, err
+		}
+		return res.Client(creds[role], a)
+	}
+
+	devClient, err := client("developer", dev.DN)
+	if err != nil {
+		return err
+	}
+	defer devClient.Close()
+	anaClient, err := client("analyst", ana.DN)
+	if err != nil {
+		return err
+	}
+	defer anaClient.Close()
+	admClient, err := client("admin", adm.DN)
+	if err != nil {
+		return err
+	}
+	defer admClient.Close()
+
+	// The developer compiles; small allocations only.
+	build, err := devClient.Submit(`&(executable=gcc)(jobtag=ADS)(count=2)(maxtime=10)(simduration=240)`, "")
+	if err != nil {
+		return fmt.Errorf("developer build: %w", err)
+	}
+	fmt.Println("developer build job:", build)
+	if _, err := devClient.Submit(`&(executable=gcc)(jobtag=ADS)(count=8)(maxtime=10)`, ""); gram.IsAuthorizationDenied(err) {
+		fmt.Println("developer asking for 8 cpus denied:", err)
+	}
+
+	// The analyst launches a day-long TRANSP run on 6 of 8 CPUs.
+	transp, err := anaClient.Submit(
+		`&(executable=TRANSP)(directory=/sandbox/services)(jobtag=NFC)(count=6)(simduration=86400)`, "")
+	if err != nil {
+		return fmt.Errorf("analyst TRANSP: %w", err)
+	}
+	fmt.Println("analyst TRANSP run:", transp)
+	res.Cluster.Advance(2 * time.Hour)
+
+	// Crisis: an active demo for a funding agency needs the machine.
+	// The admin — not the job's initiator — suspends TRANSP.
+	fmt.Println("\n--- high-priority demo arrives ---")
+	if err := admClient.Signal(transp, gram.SignalSuspend, ""); err != nil {
+		return fmt.Errorf("admin suspend: %w", err)
+	}
+	st, _ := admClient.Status(transp)
+	fmt.Printf("TRANSP after admin suspend: %s (owner %s)\n", st.State, st.Owner)
+
+	demo, err := admClient.Submit(
+		`&(executable=EFIT)(directory=/sandbox/services)(jobtag=NFC)(count=6)(priority=10)(simduration=1800)`, "")
+	if err != nil {
+		return fmt.Errorf("demo job: %w", err)
+	}
+	res.Cluster.Advance(31 * time.Minute)
+	st, _ = admClient.Status(demo)
+	fmt.Printf("demo job: %s\n", st.State)
+
+	// Demo done: resume the long run.
+	if err := admClient.Signal(transp, gram.SignalResume, ""); err != nil {
+		return fmt.Errorf("admin resume: %w", err)
+	}
+	st, _ = anaClient.Status(transp)
+	fmt.Printf("TRANSP resumed: %s\n", st.State)
+
+	// The analyst tries to cancel the developer's build — denied: the
+	// ADS group is not theirs to manage.
+	if err := anaClient.Cancel(build); gram.IsAuthorizationDenied(err) {
+		fmt.Println("\nanalyst canceling developer job denied:", err)
+	}
+	return nil
+}

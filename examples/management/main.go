@@ -1,0 +1,190 @@
+// Management focuses on the paper's second headline capability: VO-wide
+// job management via jobtag groups, including the protocol's extended
+// authorization errors and the §6.2 trust-model comparison between PEP
+// placements.
+//
+//	go run ./examples/management
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"gridauth"
+	"gridauth/internal/gram"
+	"gridauth/internal/gsi"
+)
+
+const pol = `
+# Every start must join a management group.
+/O=Grid: &(action = start)(jobtag != NULL)
+
+# Workers may run the worker binary under the "batch" tag and manage
+# their own jobs.
+/O=Grid/CN=Worker A: &(action = start)(executable = worker)(jobtag = batch)(count<=4) &(action = cancel information signal)(jobowner = self)
+/O=Grid/CN=Worker B: &(action = start)(executable = worker)(jobtag = batch)(count<=4) &(action = cancel information signal)(jobowner = self)
+
+# The operator manages every job in the "batch" group but starts nothing.
+/O=Grid/CN=Operator: &(action = cancel information signal)(jobtag = batch)
+`
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	fab, err := gridauth.NewFabric("/O=Grid/CN=Mgmt CA")
+	if err != nil {
+		return err
+	}
+	workerA, err := fab.IssueUser("/O=Grid/CN=Worker A")
+	if err != nil {
+		return err
+	}
+	workerB, err := fab.IssueUser("/O=Grid/CN=Worker B")
+	if err != nil {
+		return err
+	}
+	operator, err := fab.IssueUser("/O=Grid/CN=Operator")
+	if err != nil {
+		return err
+	}
+	gmap := map[gsi.DN][]string{
+		workerA.Identity():  {"worka"},
+		workerB.Identity():  {"workb"},
+		operator.Identity(): {"ops"},
+	}
+
+	start := func(placement gridauth.Placement, tamper bool, name string) (*gridauth.Resource, error) {
+		return fab.StartResource(gridauth.ResourceConfig{
+			Name:      name,
+			Mode:      gridauth.ModeCallout,
+			Placement: placement,
+			GridMap:   gmap,
+			VOPolicy:  pol,
+			TamperJMI: tamper,
+		})
+	}
+
+	res, err := start(gridauth.PlacementJobManager, false, "batch.example.org")
+	if err != nil {
+		return err
+	}
+	defer res.Close()
+
+	a, err := res.Client(workerA)
+	if err != nil {
+		return err
+	}
+	defer a.Close()
+	b, err := res.Client(workerB)
+	if err != nil {
+		return err
+	}
+	defer b.Close()
+	ops, err := res.Client(operator)
+	if err != nil {
+		return err
+	}
+	defer ops.Close()
+
+	// Two workers start batch jobs.
+	jobA, err := a.Submit(`&(executable=worker)(jobtag=batch)(count=2)(simduration=3600)`, "")
+	if err != nil {
+		return err
+	}
+	jobB, err := b.Submit(`&(executable=worker)(jobtag=batch)(count=2)(simduration=3600)`, "")
+	if err != nil {
+		return err
+	}
+	fmt.Println("worker jobs:", jobA, jobB)
+
+	// Workers cannot touch each other's jobs; the error names the policy
+	// source and reason (the paper's protocol extension).
+	if err := a.Cancel(jobB); gram.IsAuthorizationDenied(err) {
+		fmt.Println("worker A canceling worker B's job:")
+		fmt.Println("  ", err)
+	}
+
+	// The operator — initiator of neither — manages both via the jobtag
+	// group, first learning who owns what.
+	for _, j := range []string{jobA, jobB} {
+		st, err := ops.Status(j)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("operator sees %s: %s owned by %s\n", j, st.State, st.Owner)
+	}
+	if err := ops.Signal(jobA, gram.SignalPriority, "5"); err != nil {
+		return err
+	}
+	if err := ops.Signal(jobB, gram.SignalSuspend, ""); err != nil {
+		return err
+	}
+	res.Cluster.Advance(time.Minute)
+	if err := ops.Signal(jobB, gram.SignalResume, ""); err != nil {
+		return err
+	}
+	if err := ops.Cancel(jobA); err != nil {
+		return err
+	}
+	fmt.Println("operator reprioritized, suspended/resumed and canceled via jobtag rights")
+
+	// But the operator cannot START anything: no grant.
+	if _, err := ops.Submit(`&(executable=worker)(jobtag=batch)(count=1)`, ""); gram.IsAuthorizationDenied(err) {
+		fmt.Println("operator starting a job denied (management-only role):", err)
+	}
+
+	// --- Trust model: a tampered JMI ignores policy...
+	fmt.Println("\n== §6.2 trust model ==")
+	tampered, err := start(gridauth.PlacementJobManager, true, "tampered.example.org")
+	if err != nil {
+		return err
+	}
+	defer tampered.Close()
+	ta, err := tampered.Client(workerA)
+	if err != nil {
+		return err
+	}
+	defer ta.Close()
+	tb, err := tampered.Client(workerB)
+	if err != nil {
+		return err
+	}
+	defer tb.Close()
+	tJob, err := ta.Submit(`&(executable=worker)(jobtag=batch)(count=1)(simduration=600)`, "")
+	if err != nil {
+		return err
+	}
+	if err := tb.Cancel(tJob); err == nil {
+		fmt.Println("tampered JMI let worker B cancel worker A's job (the §6.2 weakness)")
+	}
+
+	// ...unless the PEP moves into the trusted Gatekeeper.
+	hardened, err := start(gridauth.PlacementGatekeeper, true, "hardened.example.org")
+	if err != nil {
+		return err
+	}
+	defer hardened.Close()
+	ha, err := hardened.Client(workerA)
+	if err != nil {
+		return err
+	}
+	defer ha.Close()
+	hb, err := hardened.Client(workerB)
+	if err != nil {
+		return err
+	}
+	defer hb.Close()
+	hJob, err := ha.Submit(`&(executable=worker)(jobtag=batch)(count=1)(simduration=600)`, "")
+	if err != nil {
+		return err
+	}
+	if err := hb.Cancel(hJob); gram.IsAuthorizationDenied(err) {
+		fmt.Println("gatekeeper-placed PEP stops the same attack even with a tampered JMI")
+	}
+	return nil
+}

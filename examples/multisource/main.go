@@ -1,0 +1,216 @@
+// Multisource demonstrates combining policies from multiple
+// administrative sources and swapping authorization backends — the §5
+// generality claim: the same policies served by the plaintext engine, an
+// Akenti-style certificate engine, and a CAS issuing restricted
+// credentials, all behind the same callout API. It also shows dynamic
+// accounts admitting a user with no grid-mapfile entry, and the sandbox
+// catching a job that over-consumes after admission.
+//
+//	go run ./examples/multisource
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"gridauth"
+	"gridauth/internal/akenti"
+	"gridauth/internal/cas"
+	"gridauth/internal/core"
+	"gridauth/internal/gram"
+	"gridauth/internal/gsi"
+	"gridauth/internal/policy"
+	"gridauth/internal/sandbox"
+)
+
+const (
+	kateDN = "/O=Grid/O=Globus/OU=mcs.anl.gov/CN=Kate Keahey"
+	voPol  = `
+/O=Grid/O=Globus/OU=mcs.anl.gov: &(action = start)(jobtag != NULL)
+/O=Grid/O=Globus/OU=mcs.anl.gov/CN=Kate Keahey:
+  &(action = start)(executable = TRANSP)(jobtag = NFC)(count<=8)
+  &(action = cancel information signal)(jobowner = self)
+`
+	localPol = `/O=Grid: &(action = start)(queue != fast)`
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	fab, err := gridauth.NewFabric("/O=Grid/CN=Multisource CA")
+	if err != nil {
+		return err
+	}
+	kate, err := fab.IssueUser(kateDN)
+	if err != nil {
+		return err
+	}
+
+	// --- Backend 1+2: plaintext VO policy AND the owner's local policy,
+	// both must permit (the paper's combination rule).
+	fmt.Println("== plaintext engine, two administrative sources ==")
+	res, err := fab.StartResource(gridauth.ResourceConfig{
+		Name:            "plain.anl.gov",
+		Mode:            gridauth.ModeCallout,
+		GridMap:         map[gsi.DN][]string{kate.Identity(): {"keahey"}},
+		VOPolicy:        voPol,
+		LocalPolicy:     localPol,
+		DynamicAccounts: true,
+		Sandbox:         true,
+	})
+	if err != nil {
+		return err
+	}
+	defer res.Close()
+	client, err := res.Client(kate)
+	if err != nil {
+		return err
+	}
+	defer client.Close()
+
+	contact, err := client.Submit(`&(executable=TRANSP)(jobtag=NFC)(count=4)(simduration=7200)`, "")
+	if err != nil {
+		return err
+	}
+	fmt.Println("VO-and-local permit:", contact)
+	if _, err := client.Submit(`&(executable=TRANSP)(jobtag=NFC)(count=4)(queue=fast)`, ""); gram.IsAuthorizationDenied(err) {
+		fmt.Println("local policy vetoes the reserved queue:", err)
+	}
+
+	// Dynamic accounts: a user with NO grid-mapfile entry gets a leased
+	// account; policy still applies (and denies this stranger).
+	stranger, err := fab.IssueUser("/O=Grid/O=Globus/OU=mcs.anl.gov/CN=New Postdoc")
+	if err != nil {
+		return err
+	}
+	sc, err := res.Client(stranger)
+	if err != nil {
+		return err
+	}
+	defer sc.Close()
+	_, err = sc.Submit(`&(executable=TRANSP)(jobtag=NFC)`, "")
+	fmt.Println("unmapped user (dynamic account leased, policy denies):", err)
+	if acct, ok := res.Accounts.LeaseFor(stranger.Identity()); ok {
+		fmt.Println("  leased dynamic account:", acct.Name)
+	}
+
+	// Sandbox: the admitted TRANSP job is capped at 1800 cpu-seconds of
+	// actual consumption; it would use 4*7200. Continuous enforcement
+	// kills it where the gateway could not.
+	jmi, _ := res.Gatekeeper.Job(contact)
+	res.Monitor.Attach(jmi.LRMJobID(), sandbox.Limits{MaxCPUSeconds: 1800})
+	res.Cluster.Advance(time.Hour)
+	res.Monitor.Poll()
+	st, _ := client.Status(contact)
+	fmt.Printf("after 1 virtual hour under sandbox: %s (%s)\n\n", st.State, st.Detail)
+
+	// --- Backend 3: Akenti. Same rights expressed as use conditions +
+	// attribute certificates, behind the same callout API.
+	fmt.Println("== Akenti backend ==")
+	stakeholder, err := fab.IssueService("/O=Grid/CN=ANL Stakeholder")
+	if err != nil {
+		return err
+	}
+	engine := akenti.NewEngine()
+	engine.TrustStakeholder(stakeholder.Leaf())
+	engine.TrustAttributeIssuer(stakeholder.Leaf())
+	uc := &akenti.UseCondition{
+		Resource:     "gram:akenti.anl.gov",
+		Actions:      []string{policy.ActionStart, policy.ActionCancel, policy.ActionInformation, policy.ActionSignal},
+		Requirements: []akenti.Requirement{{Attribute: "group", Value: "fusion"}},
+		Constraint:   "(executable = TRANSP)(count<=8)",
+		NotBefore:    time.Now().Add(-time.Minute),
+		NotAfter:     time.Now().Add(24 * time.Hour),
+	}
+	if err := akenti.SignUseCondition(uc, stakeholder); err != nil {
+		return err
+	}
+	if err := engine.AddUseCondition(uc); err != nil {
+		return err
+	}
+	ac := &akenti.AttributeCertificate{
+		Subject: kate.Identity(), Attribute: "group", Value: "fusion",
+		NotBefore: time.Now().Add(-time.Minute), NotAfter: time.Now().Add(24 * time.Hour),
+	}
+	if err := akenti.SignAttribute(ac, stakeholder); err != nil {
+		return err
+	}
+	if err := engine.StoreAttribute(ac); err != nil {
+		return err
+	}
+	akRes, err := fab.StartResource(gridauth.ResourceConfig{
+		Name:      "akenti.anl.gov",
+		Mode:      gridauth.ModeCallout,
+		GridMap:   map[gsi.DN][]string{kate.Identity(): {"keahey"}},
+		ExtraPDPs: []core.PDP{&akenti.PDP{Engine: engine, Resource: "gram:akenti.anl.gov"}},
+	})
+	if err != nil {
+		return err
+	}
+	defer akRes.Close()
+	akClient, err := akRes.Client(kate)
+	if err != nil {
+		return err
+	}
+	defer akClient.Close()
+	if c, err := akClient.Submit(`&(executable=TRANSP)(count=8)(simduration=60)`, ""); err == nil {
+		fmt.Println("Akenti permit:", c)
+	} else {
+		return err
+	}
+	if _, err := akClient.Submit(`&(executable=TRANSP)(count=64)`, ""); gram.IsAuthorizationDenied(err) {
+		fmt.Println("Akenti constraint denies count=64:", err)
+	}
+
+	// --- Backend 4: CAS. The community policy travels INSIDE the
+	// restricted credential; the resource trusts only the CAS signer.
+	fmt.Println("\n== CAS backend ==")
+	casCred, err := fab.IssueService("/O=Grid/CN=NFC CAS")
+	if err != nil {
+		return err
+	}
+	communityPol, err := policy.ParseString(voPol, "VO:NFC")
+	if err != nil {
+		return err
+	}
+	server := cas.NewServer("NFC", casCred, communityPol)
+	casRes, err := fab.StartResource(gridauth.ResourceConfig{
+		Name:             "cas.anl.gov",
+		Mode:             gridauth.ModeCallout,
+		GridMap:          map[gsi.DN][]string{kate.Identity(): {"keahey"}},
+		ExtraPDPs:        []core.PDP{&cas.PDP{Community: "NFC", Cert: server.Certificate()}},
+		AssertionIssuers: []*gsi.Certificate{server.Certificate()},
+	})
+	if err != nil {
+		return err
+	}
+	defer casRes.Close()
+	grant, err := server.Grant(kate.Identity())
+	if err != nil {
+		return err
+	}
+	casClient, err := casRes.Client(kate, grant)
+	if err != nil {
+		return err
+	}
+	defer casClient.Close()
+	if c, err := casClient.Submit(`&(executable=TRANSP)(jobtag=NFC)(count=2)(simduration=60)`, ""); err == nil {
+		fmt.Println("CAS restricted-credential permit:", c)
+	} else {
+		return err
+	}
+	bare, err := casRes.Client(kate)
+	if err != nil {
+		return err
+	}
+	defer bare.Close()
+	if _, err := bare.Submit(`&(executable=TRANSP)(jobtag=NFC)(count=2)`, ""); gram.IsAuthorizationDenied(err) {
+		fmt.Println("without the CAS credential, denied:", err)
+	}
+	return nil
+}

@@ -1,0 +1,90 @@
+// Quickstart: the smallest end-to-end deployment — one trust fabric, one
+// resource with a fine-grain policy, one user submitting jobs.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"gridauth"
+	"gridauth/internal/gram"
+	"gridauth/internal/gsi"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// A trust fabric: certificate authority + trust store.
+	fab, err := gridauth.NewFabric("/O=Grid/CN=Quickstart CA")
+	if err != nil {
+		return err
+	}
+	alice, err := fab.IssueUser("/O=Grid/CN=Alice")
+	if err != nil {
+		return err
+	}
+
+	// A resource in callout mode: Alice may run "sim" with fewer than 8
+	// CPUs, and manage her own jobs. Everything else is denied (default
+	// deny).
+	res, err := fab.StartResource(gridauth.ResourceConfig{
+		Name: "cluster.example.org",
+		CPUs: 8,
+		Mode: gridauth.ModeCallout,
+		GridMap: map[gsi.DN][]string{
+			alice.Identity(): {"alice"},
+		},
+		VOPolicy: `
+/O=Grid/CN=Alice:
+  &(action = start)(executable = sim)(count<8)
+  &(action = cancel information signal)(jobowner = self)
+`,
+	})
+	if err != nil {
+		return err
+	}
+	defer res.Close()
+	fmt.Println("gatekeeper listening on", res.Addr)
+
+	client, err := res.Client(alice)
+	if err != nil {
+		return err
+	}
+	defer client.Close()
+
+	// A conforming job is admitted and runs.
+	contact, err := client.Submit(`&(executable=sim)(count=4)(simduration=90)`, "")
+	if err != nil {
+		return err
+	}
+	st, err := client.Status(contact)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("submitted %s -> %s\n", contact, st.State)
+
+	// An oversized job is denied with the policy's reason.
+	_, err = client.Submit(`&(executable=sim)(count=16)`, "")
+	if gram.IsAuthorizationDenied(err) {
+		fmt.Println("oversized job denied as expected:")
+		fmt.Println("  ", err)
+	} else {
+		return fmt.Errorf("expected a denial, got %v", err)
+	}
+
+	// Advance the simulated cluster and watch the job finish.
+	res.Cluster.Advance(2 * time.Minute)
+	st, err = client.Status(contact)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("after 2 virtual minutes: %s\n", st.State)
+	return nil
+}

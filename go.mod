@@ -1,0 +1,3 @@
+module gridauth
+
+go 1.22

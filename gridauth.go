@@ -1,0 +1,337 @@
+// Package gridauth is the public entry point of this library: a
+// fine-grain authorization system for Grid resource management,
+// reproducing Keahey, Welch, Lang, Liu and Meder, "Fine-Grain
+// Authorization Policies in the GRID: Design and Implementation"
+// (Middleware 2003).
+//
+// The package wires the subsystems — simulated GSI, grid-mapfile, the
+// RSL-based policy engine, the authorization callout framework, GRAM
+// (Gatekeeper + Job Manager), a local scheduler, dynamic accounts and
+// sandbox enforcement — into two concepts:
+//
+//   - a Fabric: a trust domain with a certificate authority, users and
+//     virtual organizations;
+//   - Resources: GRAM endpoints started on the fabric, each with its own
+//     grid-mapfile, policies, authorization mode and local scheduler.
+//
+// A minimal end-to-end deployment:
+//
+//	fab, _ := gridauth.NewFabric("/O=Grid/CN=Example CA")
+//	alice, _ := fab.IssueUser("/O=Grid/CN=Alice")
+//	res, _ := fab.StartResource(gridauth.ResourceConfig{
+//	    Name:     "cluster.example.org",
+//	    CPUs:     16,
+//	    Mode:     gridauth.ModeCallout,
+//	    GridMap:  map[gsi.DN][]string{alice.Identity(): {"alice"}},
+//	    VOPolicy: `/O=Grid/CN=Alice: &(action = start)(executable = sim)(count<8)`,
+//	})
+//	defer res.Close()
+//	client, _ := res.Client(alice)
+//	contact, err := client.Submit(`&(executable=sim)(count=4)`, "")
+//
+// Lower-level control is available from the internal packages through
+// the fields this package exposes (Registry, Cluster, Accounts, ...).
+package gridauth
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"time"
+
+	"gridauth/internal/accounts"
+	"gridauth/internal/allocation"
+	"gridauth/internal/core"
+	"gridauth/internal/gram"
+	"gridauth/internal/gridmap"
+	"gridauth/internal/gsi"
+	"gridauth/internal/jobcontrol"
+	"gridauth/internal/policy"
+	"gridauth/internal/sandbox"
+	"gridauth/internal/vo"
+)
+
+// Mode selects the authorization model of a resource.
+type Mode int
+
+// Authorization modes.
+const (
+	// ModeLegacy is stock GT2: grid-mapfile admission, initiator-only
+	// management (the paper's §4 baseline).
+	ModeLegacy Mode = iota + 1
+	// ModeCallout is the paper's extension: fine-grain policies
+	// evaluated through authorization callouts.
+	ModeCallout
+)
+
+// Placement selects where the policy evaluation point lives in callout
+// mode (§6.2).
+type Placement int
+
+// PEP placements.
+const (
+	// PlacementJobManager evaluates policy in the Job Manager (the
+	// paper's design).
+	PlacementJobManager Placement = iota + 1
+	// PlacementGatekeeper evaluates policy in the Gatekeeper (the
+	// hardened alternative).
+	PlacementGatekeeper
+)
+
+// Fabric is a Grid trust domain: one certificate authority, its trust
+// store, and the identities and VOs issued within it.
+type Fabric struct {
+	// CA is the fabric's certificate authority.
+	CA *gsi.CA
+	// Trust holds the fabric's trust anchors.
+	Trust *gsi.TrustStore
+}
+
+// NewFabric creates a trust domain rooted at a new CA with the given
+// subject DN.
+func NewFabric(caSubject string) (*Fabric, error) {
+	ca, err := gsi.NewCA(gsi.DN(caSubject))
+	if err != nil {
+		return nil, fmt.Errorf("gridauth: create CA: %w", err)
+	}
+	return &Fabric{CA: ca, Trust: gsi.NewTrustStore(ca.Certificate())}, nil
+}
+
+// IssueUser issues a user credential for the DN.
+func (f *Fabric) IssueUser(dn string) (*gsi.Credential, error) {
+	return f.CA.Issue(gsi.DN(dn), gsi.KindUser)
+}
+
+// IssueService issues a service credential for the DN.
+func (f *Fabric) IssueService(dn string) (*gsi.Credential, error) {
+	return f.CA.Issue(gsi.DN(dn), gsi.KindService)
+}
+
+// NewVO creates a virtual organization with a fabric-issued signing
+// credential.
+func (f *Fabric) NewVO(name, dn string, opts ...vo.Option) (*vo.VO, error) {
+	cred, err := f.IssueService(dn)
+	if err != nil {
+		return nil, fmt.Errorf("gridauth: issue VO credential: %w", err)
+	}
+	return vo.New(name, cred, opts...), nil
+}
+
+// ResourceConfig describes a GRAM resource to start on a fabric.
+type ResourceConfig struct {
+	// Name is the resource's host name (used in its service DN).
+	Name string
+	// CPUs sizes the local scheduler (default 16).
+	CPUs int
+	// Mode selects legacy GT2 or callout authorization (default legacy).
+	Mode Mode
+	// Placement selects the PEP location in callout mode (default the
+	// Job Manager, as in the paper).
+	Placement Placement
+	// GridMap maps Grid identities to local accounts. Accounts named
+	// here are created automatically.
+	GridMap map[gsi.DN][]string
+	// VOPolicy and LocalPolicy are policy texts in the paper's language;
+	// both empty in callout mode is an error (nothing could ever be
+	// permitted).
+	VOPolicy    string
+	LocalPolicy string
+	// VOs whose attribute assertions the resource accepts. For each VO a
+	// membership PDP (assertion + jobtag entitlement check) is added to
+	// the callout chain.
+	VOs []*vo.VO
+	// AssertionIssuers are additional certificates whose signed
+	// assertions the gatekeeper accepts and verifies (e.g. a CAS signing
+	// certificate), without adding a membership gate.
+	AssertionIssuers []*gsi.Certificate
+	// ExtraPDPs are appended to the callout chain (Akenti, CAS, custom).
+	ExtraPDPs []core.PDP
+	// Allocation, when set, enforces the resource provider's coarse
+	// per-VO budget (§2): an allocation PDP is appended LAST in the
+	// callout chain (so it only reserves once every other source has
+	// accepted), reservations follow jobs into the scheduler, and
+	// terminal jobs commit their actual usage back to the tracker.
+	Allocation *allocation.Tracker
+	// DynamicAccounts enables a pool of on-the-fly accounts for users
+	// without grid-mapfile entries.
+	DynamicAccounts bool
+	// DynamicPoolSize is the dynamic pool size (default 16).
+	DynamicPoolSize int
+	// Sandbox attaches a kill-on-violation sandbox monitor to the
+	// resource's scheduler.
+	Sandbox bool
+	// TamperJMI simulates the §6.2 user-tampered job manager.
+	TamperJMI bool
+	// DefaultPriority is the scheduler priority for unprioritized jobs.
+	DefaultPriority int
+}
+
+// Resource is a running GRAM endpoint.
+type Resource struct {
+	// Addr is the TCP address of the gatekeeper.
+	Addr string
+	// Gatekeeper is the GRAM daemon.
+	Gatekeeper *gram.Gatekeeper
+	// Cluster is the local job control system (drive it with Advance in
+	// simulations).
+	Cluster *jobcontrol.Cluster
+	// Registry is the authorization callout registry.
+	Registry *core.Registry
+	// Accounts is the local account layer.
+	Accounts *accounts.Manager
+	// Monitor is the sandbox monitor when ResourceConfig.Sandbox is set.
+	Monitor *sandbox.Monitor
+
+	fabric *Fabric
+	done   chan struct{}
+}
+
+// StartResource builds and serves a resource on 127.0.0.1 (ephemeral
+// port).
+func (f *Fabric) StartResource(cfg ResourceConfig) (*Resource, error) {
+	if cfg.Name == "" {
+		return nil, errors.New("gridauth: resource needs a name")
+	}
+	if cfg.CPUs == 0 {
+		cfg.CPUs = 16
+	}
+	if cfg.Mode == 0 {
+		cfg.Mode = ModeLegacy
+	}
+	if cfg.Placement == 0 {
+		cfg.Placement = PlacementJobManager
+	}
+	if cfg.Mode == ModeCallout && cfg.VOPolicy == "" && cfg.LocalPolicy == "" && len(cfg.ExtraPDPs) == 0 {
+		return nil, errors.New("gridauth: callout mode without any policy source would deny everything")
+	}
+
+	gkCred, err := f.IssueService("/O=Grid/CN=gatekeeper/" + cfg.Name)
+	if err != nil {
+		return nil, fmt.Errorf("gridauth: issue gatekeeper credential: %w", err)
+	}
+
+	gmap := gridmap.New()
+	acctMgr := accounts.NewManager()
+	seen := map[string]bool{}
+	for id, accts := range cfg.GridMap {
+		gmap.Add(id, accts...)
+		for _, a := range accts {
+			if !seen[a] {
+				acctMgr.AddStatic(a, accounts.Rights{})
+				seen[a] = true
+			}
+		}
+	}
+	if cfg.DynamicAccounts {
+		n := cfg.DynamicPoolSize
+		if n == 0 {
+			n = 16
+		}
+		acctMgr.ProvisionPool("grid", n)
+	}
+
+	reg := core.NewRegistry()
+	core.RegisterBuiltinDrivers(reg)
+	var pdps []core.PDP
+	if cfg.VOPolicy != "" {
+		pol, err := policy.ParseString(cfg.VOPolicy, "VO")
+		if err != nil {
+			return nil, fmt.Errorf("gridauth: VO policy: %w", err)
+		}
+		pdps = append(pdps, &core.PolicyPDP{Policy: pol})
+	}
+	if cfg.LocalPolicy != "" {
+		pol, err := policy.ParseString(cfg.LocalPolicy, "local")
+		if err != nil {
+			return nil, fmt.Errorf("gridauth: local policy: %w", err)
+		}
+		pdps = append(pdps, &core.PolicyPDP{Policy: pol})
+	}
+	var voCerts []*gsi.Certificate
+	for _, v := range cfg.VOs {
+		voCerts = append(voCerts, v.Certificate())
+		pdps = append(pdps, v.MembershipPDP())
+	}
+	voCerts = append(voCerts, cfg.AssertionIssuers...)
+	pdps = append(pdps, cfg.ExtraPDPs...)
+	if cfg.Allocation != nil {
+		pdps = append(pdps, &allocation.PDP{Tracker: cfg.Allocation, ReserveOnPermit: true})
+	}
+	for _, p := range pdps {
+		reg.Bind(core.CalloutJobManager, p)
+		reg.Bind(core.CalloutGatekeeper, p)
+	}
+
+	cluster := jobcontrol.NewCluster(cfg.CPUs)
+	var monitor *sandbox.Monitor
+	if cfg.Sandbox {
+		monitor = sandbox.NewMonitor(cluster, true)
+	}
+
+	gkMode := gram.AuthzLegacy
+	if cfg.Mode == ModeCallout {
+		gkMode = gram.AuthzCallout
+	}
+	gkPlacement := gram.PlacementJM
+	if cfg.Placement == PlacementGatekeeper {
+		gkPlacement = gram.PlacementGatekeeper
+	}
+	gramCfg := gram.Config{
+		Credential:      gkCred,
+		Trust:           f.Trust,
+		VOCerts:         voCerts,
+		GridMap:         gmap,
+		Accounts:        acctMgr,
+		DynamicAccounts: cfg.DynamicAccounts,
+		Registry:        reg,
+		Mode:            gkMode,
+		Placement:       gkPlacement,
+		Cluster:         cluster,
+		DefaultPriority: cfg.DefaultPriority,
+		TamperJMI:       cfg.TamperJMI,
+	}
+	if cfg.Allocation != nil {
+		cfg.Allocation.Attach(cluster)
+		gramCfg.OnJobStart = cfg.Allocation.Rebind
+		gramCfg.OnJobAborted = func(contact string) { cfg.Allocation.Commit(contact, 0) }
+	}
+	gk, err := gram.NewGatekeeper(gramCfg)
+	if err != nil {
+		return nil, err
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("gridauth: listen: %w", err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = gk.Serve(l)
+	}()
+	return &Resource{
+		Addr:       l.Addr().String(),
+		Gatekeeper: gk,
+		Cluster:    cluster,
+		Registry:   reg,
+		Accounts:   acctMgr,
+		Monitor:    monitor,
+		fabric:     f,
+		done:       done,
+	}, nil
+}
+
+// Close stops the resource and waits for its connections to drain.
+func (r *Resource) Close() {
+	r.Gatekeeper.Close()
+	<-r.done
+}
+
+// Client returns a GRAM client for the resource, authenticating with a
+// fresh proxy delegated from cred and presenting the given assertions.
+func (r *Resource) Client(cred *gsi.Credential, assertions ...*gsi.Assertion) (*gram.Client, error) {
+	proxy, err := gsi.Delegate(cred, 12*time.Hour, false)
+	if err != nil {
+		return nil, fmt.Errorf("gridauth: delegate proxy: %w", err)
+	}
+	return gram.NewClient(r.Addr, proxy, r.fabric.Trust, assertions...), nil
+}

@@ -1,0 +1,167 @@
+package audit
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"gridauth/internal/core"
+	"gridauth/internal/policy"
+)
+
+const kate = "/O=Grid/CN=Kate"
+
+func permitPDP() core.PDP {
+	return core.PDPFunc{ID: "p", Fn: func(*core.Request) core.Decision {
+		return core.PermitDecision("p", "ok")
+	}}
+}
+
+func denyPDP() core.PDP {
+	return core.PDPFunc{ID: "d", Fn: func(*core.Request) core.Decision {
+		return core.DenyDecision("d", "no")
+	}}
+}
+
+func TestWrapRecordsDecisions(t *testing.T) {
+	log := NewLog(16)
+	pdp := Wrap(denyPDP(), log)
+	req := &core.Request{Subject: kate, Action: policy.ActionStart, JobID: "j1"}
+	if d := pdp.Authorize(req); d.Effect != core.Deny {
+		t.Fatalf("wrapped decision changed: %v", d.Effect)
+	}
+	recs := log.Records()
+	if len(recs) != 1 {
+		t.Fatalf("records = %d", len(recs))
+	}
+	r := recs[0]
+	if r.Subject != kate || r.Action != policy.ActionStart || r.JobID != "j1" {
+		t.Errorf("record = %+v", r)
+	}
+	if r.Effect != "deny" || r.Source != "d" || r.Reason != "no" {
+		t.Errorf("decision fields = %+v", r)
+	}
+	if r.Time.IsZero() {
+		t.Errorf("record not timestamped")
+	}
+}
+
+func TestRingEviction(t *testing.T) {
+	log := NewLog(3)
+	pdp := Wrap(permitPDP(), log)
+	for i := 0; i < 5; i++ {
+		pdp.Authorize(&core.Request{Subject: kate, Action: policy.ActionStart, JobID: "j" + string(rune('0'+i))})
+	}
+	if log.Len() != 3 {
+		t.Fatalf("Len = %d", log.Len())
+	}
+	if log.Dropped() != 2 {
+		t.Errorf("Dropped = %d", log.Dropped())
+	}
+	recs := log.Records()
+	if recs[0].JobID != "j2" || recs[2].JobID != "j4" {
+		t.Errorf("eviction order wrong: %v ... %v", recs[0].JobID, recs[2].JobID)
+	}
+}
+
+func TestFilterDenialsStats(t *testing.T) {
+	log := NewLog(16)
+	p := Wrap(permitPDP(), log)
+	d := Wrap(denyPDP(), log)
+	req := &core.Request{Subject: kate, Action: policy.ActionStart}
+	p.Authorize(req)
+	d.Authorize(req)
+	d.Authorize(req)
+	if got := len(log.Denials()); got != 2 {
+		t.Errorf("Denials = %d", got)
+	}
+	stats := log.Stats()
+	if stats["permit"] != 1 || stats["deny"] != 2 {
+		t.Errorf("stats = %v", stats)
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	log := NewLog(8)
+	log.SetClock(func() time.Time { return time.Date(2003, 6, 16, 12, 0, 0, 0, time.UTC) })
+	Wrap(denyPDP(), log).Authorize(&core.Request{Subject: kate, Action: policy.ActionCancel, JobOwner: "/O=Grid/CN=Bo"})
+	var buf bytes.Buffer
+	if err := log.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].Subject != kate || recs[0].JobOwner != "/O=Grid/CN=Bo" {
+		t.Errorf("round trip = %+v", recs)
+	}
+	if _, err := ReadJSONL(bytes.NewBufferString("nonsense")); err == nil {
+		t.Errorf("garbage accepted")
+	}
+}
+
+func TestInstrumentRegistry(t *testing.T) {
+	reg := core.NewRegistry()
+	reg.Bind(core.CalloutJobManager, denyPDP())
+	log := NewLog(8)
+	InstrumentRegistry(reg, core.CalloutJobManager, log)
+	req := &core.Request{Subject: kate, Action: policy.ActionStart}
+	d := reg.Invoke(core.CalloutJobManager+".audited", req)
+	if d.Effect != core.Deny {
+		t.Fatalf("audited chain decision = %v", d.Effect)
+	}
+	if log.Len() != 1 {
+		t.Errorf("audited chain not recorded")
+	}
+	// The original chain remains usable and unaudited.
+	if d := reg.Invoke(core.CalloutJobManager, req); d.Effect != core.Deny {
+		t.Errorf("original chain broken")
+	}
+	if log.Len() != 1 {
+		t.Errorf("original chain unexpectedly audited")
+	}
+}
+
+// Property: the ring retains exactly min(n, capacity) newest records in
+// order.
+func TestQuickRingOrder(t *testing.T) {
+	f := func(n uint8, capRaw uint8) bool {
+		capacity := int(capRaw%16) + 1
+		log := NewLog(capacity)
+		total := int(n % 64)
+		for i := 0; i < total; i++ {
+			log.Append(Record{JobID: itoa(i), Time: time.Unix(int64(i), 0)})
+		}
+		recs := log.Records()
+		want := total
+		if want > capacity {
+			want = capacity
+		}
+		if len(recs) != want {
+			return false
+		}
+		for i, r := range recs {
+			if r.JobID != itoa(total-want+i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b []byte
+	for n > 0 {
+		b = append([]byte{byte('0' + n%10)}, b...)
+		n /= 10
+	}
+	return string(b)
+}

@@ -1,0 +1,107 @@
+package core
+
+import (
+	"fmt"
+	"os"
+
+	"gridauth/internal/policy"
+)
+
+// PolicyPDP adapts the plaintext policy engine (internal/policy) to the
+// PDP interface. This is the paper's prototype configuration:
+// "we experimented with policies written in plain text files on the
+// resource. These files included both local resource and VO policies."
+type PolicyPDP struct {
+	// Policy is the policy to evaluate.
+	Policy *policy.Policy
+}
+
+var _ PDP = (*PolicyPDP)(nil)
+
+// Name implements PDP.
+func (p *PolicyPDP) Name() string { return "policy:" + p.Policy.Source }
+
+// Authorize implements PDP.
+func (p *PolicyPDP) Authorize(req *Request) Decision {
+	d := p.Policy.Evaluate(&policy.Request{
+		Subject:  req.Subject,
+		Action:   req.Action,
+		JobOwner: req.JobOwner,
+		Spec:     req.Spec,
+	})
+	switch {
+	case d.Allowed:
+		return PermitDecision(p.Name(), d.Reason)
+	case d.Applicable:
+		return DenyDecision(p.Name(), d.Reason)
+	default:
+		// The policy neither grants nor objects: abstain, so a
+		// restrictions-only source (e.g. the resource owner's "(queue !=
+		// fast)" rule) does not veto requests the VO granted. Overall
+		// default-deny is preserved by the combiner.
+		return AbstainDecision(p.Name(), d.Reason)
+	}
+}
+
+// SelfOnlyPDP reproduces the stock GT2 job-management rule: "the Grid
+// identity of the user making the request must match the Grid identity of
+// the user who initiated the job" (§4.2). Job startup is out of its
+// scope and yields a deny, since the Gatekeeper's grid-mapfile decides
+// startup in stock GT2.
+type SelfOnlyPDP struct{}
+
+var _ PDP = SelfOnlyPDP{}
+
+// Name implements PDP.
+func (SelfOnlyPDP) Name() string { return "gt2-self-only" }
+
+// Authorize implements PDP.
+func (s SelfOnlyPDP) Authorize(req *Request) Decision {
+	if req.Action == policy.ActionStart {
+		return DenyDecision(s.Name(), "job startup is authorized by the gatekeeper, not the job manager")
+	}
+	if req.JobOwner != "" && req.JobOwner == req.Subject {
+		return PermitDecision(s.Name(), "requester is the job initiator")
+	}
+	return DenyDecision(s.Name(), fmt.Sprintf("requester %s is not the job initiator %s", req.Subject, req.JobOwner))
+}
+
+// RegisterBuiltinDrivers installs the drivers every deployment has:
+//
+//   - "plainfile": the plaintext policy engine; params: path=<policy file>
+//     or inline=<policy text>, source=<label>.
+//   - "gt2-self-only": the legacy GT2 management rule; no params.
+//
+// Third-party systems (Akenti, CAS) register their own drivers.
+func RegisterBuiltinDrivers(r *Registry) {
+	r.RegisterDriver("plainfile", func(params map[string]string) (PDP, error) {
+		source := params["source"]
+		if source == "" {
+			source = "local"
+		}
+		var (
+			pol *policy.Policy
+			err error
+		)
+		switch {
+		case params["path"] != "":
+			f, ferr := os.Open(params["path"])
+			if ferr != nil {
+				return nil, fmt.Errorf("open policy file: %w", ferr)
+			}
+			defer f.Close()
+			pol, err = policy.Parse(f, source)
+		case params["inline"] != "":
+			pol, err = policy.ParseString(params["inline"], source)
+		default:
+			return nil, fmt.Errorf("plainfile driver requires path= or inline=")
+		}
+		if err != nil {
+			return nil, err
+		}
+		return &PolicyPDP{Policy: pol}, nil
+	})
+	r.RegisterDriver("gt2-self-only", func(map[string]string) (PDP, error) {
+		return SelfOnlyPDP{}, nil
+	})
+}

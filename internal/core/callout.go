@@ -1,0 +1,188 @@
+package core
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Well-known abstract callout types, mirroring the callout points the
+// paper inserts into GRAM.
+const (
+	// CalloutJobManager guards job management requests in the Job
+	// Manager: before creating a job manager request and before cancel,
+	// query (information) and signal.
+	CalloutJobManager = "globus_gram_jobmanager_authz"
+	// CalloutGatekeeper guards job startup in the Gatekeeper (the
+	// alternate PEP placement discussed in §6.2).
+	CalloutGatekeeper = "globus_gatekeeper_authz"
+)
+
+// Driver creates a PDP from configuration parameters. Drivers stand in
+// for the dynamic libraries the C prototype loaded with dlopen.
+type Driver func(params map[string]string) (PDP, error)
+
+// ConfigError reports a malformed callout configuration.
+type ConfigError struct {
+	Line int
+	Msg  string
+}
+
+// Error implements the error interface.
+func (e *ConfigError) Error() string {
+	return fmt.Sprintf("callout config: line %d: %s", e.Line, e.Msg)
+}
+
+// Registry maps abstract callout types to configured PDP chains, and
+// driver names to factories. It is the Go analogue of the prototype's
+// "runtime configurable callouts": configuration happens "either through
+// a configuration file or an API call".
+type Registry struct {
+	mu       sync.RWMutex
+	drivers  map[string]Driver
+	callouts map[string][]PDP
+	mode     CombineMode
+}
+
+// NewRegistry returns a registry combining each callout type's PDPs with
+// RequireAllPermit, the paper's combination rule.
+func NewRegistry() *Registry {
+	return &Registry{
+		drivers:  make(map[string]Driver),
+		callouts: make(map[string][]PDP),
+		mode:     RequireAllPermit,
+	}
+}
+
+// SetMode changes the combination rule applied when a callout type has
+// several configured PDPs (ablation hook).
+func (r *Registry) SetMode(mode CombineMode) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.mode = mode
+}
+
+// RegisterDriver installs a driver under a name, replacing any previous
+// registration.
+func (r *Registry) RegisterDriver(name string, d Driver) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.drivers[name] = d
+}
+
+// Drivers returns the sorted names of registered drivers.
+func (r *Registry) Drivers() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	names := make([]string, 0, len(r.drivers))
+	for n := range r.drivers {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Bind configures a PDP instance for an abstract callout type via the API
+// (the non-file configuration path).
+func (r *Registry) Bind(calloutType string, pdp PDP) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.callouts[calloutType] = append(r.callouts[calloutType], pdp)
+}
+
+// Unbind removes every PDP configured for the callout type.
+func (r *Registry) Unbind(calloutType string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.callouts, calloutType)
+}
+
+// Configured reports whether any PDP is bound to the callout type.
+func (r *Registry) Configured(calloutType string) bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.callouts[calloutType]) > 0
+}
+
+// LoadConfig reads a callout configuration file. Each non-comment line
+// has the form
+//
+//	<abstract-type> <driver> [key=value ...]
+//
+// mirroring the prototype's "abstract callout name, the path to the
+// dynamic library that implements the callout and the symbol for the
+// callout in the library": here the driver name plays the library+symbol
+// role and key=value pairs carry driver parameters (policy file paths,
+// source labels, ...).
+func (r *Registry) LoadConfig(rd io.Reader) error {
+	sc := bufio.NewScanner(rd)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return &ConfigError{Line: lineNo, Msg: "want: <abstract-type> <driver> [key=value ...]"}
+		}
+		calloutType, driverName := fields[0], fields[1]
+		params := make(map[string]string, len(fields)-2)
+		for _, kv := range fields[2:] {
+			k, v, ok := strings.Cut(kv, "=")
+			if !ok || k == "" {
+				return &ConfigError{Line: lineNo, Msg: fmt.Sprintf("malformed parameter %q", kv)}
+			}
+			params[k] = v
+		}
+		r.mu.RLock()
+		driver, ok := r.drivers[driverName]
+		r.mu.RUnlock()
+		if !ok {
+			return &ConfigError{Line: lineNo, Msg: fmt.Sprintf("unknown driver %q (have %v)", driverName, r.Drivers())}
+		}
+		pdp, err := driver(params)
+		if err != nil {
+			return &ConfigError{Line: lineNo, Msg: fmt.Sprintf("driver %q: %v", driverName, err)}
+		}
+		r.Bind(calloutType, pdp)
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("callout config: read: %w", err)
+	}
+	return nil
+}
+
+// LoadConfigString parses configuration from a string.
+func (r *Registry) LoadConfigString(s string) error {
+	return r.LoadConfig(strings.NewReader(s))
+}
+
+// Invoke dispatches the request to the PDPs configured for the callout
+// type, combining their decisions. An unconfigured callout type yields an
+// Error decision — the paper's "authorization system failure" class —
+// because an enforcement point whose callout is missing must fail closed
+// loudly, not silently permit.
+func (r *Registry) Invoke(calloutType string, req *Request) Decision {
+	r.mu.RLock()
+	pdps := append([]PDP(nil), r.callouts[calloutType]...)
+	mode := r.mode
+	r.mu.RUnlock()
+	if len(pdps) == 0 {
+		return ErrorDecision("callout:"+calloutType, "no authorization callout configured")
+	}
+	return NewCombined(mode, pdps...).Authorize(req)
+}
+
+// PDP returns the combined PDP bound to a callout type, for callers that
+// want to hold a decision point rather than dispatch by name.
+func (r *Registry) PDP(calloutType string) PDP {
+	return PDPFunc{
+		ID: "callout:" + calloutType,
+		Fn: func(req *Request) Decision { return r.Invoke(calloutType, req) },
+	}
+}

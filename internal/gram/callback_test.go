@@ -1,0 +1,133 @@
+package gram
+
+import (
+	"testing"
+	"time"
+)
+
+func collectStates(t *testing.T, ch <-chan JobState, want int, timeout time.Duration) []JobState {
+	t.Helper()
+	var got []JobState
+	deadline := time.After(timeout)
+	for len(got) < want {
+		select {
+		case s, ok := <-ch:
+			if !ok {
+				return got
+			}
+			got = append(got, s)
+		case <-deadline:
+			t.Fatalf("timed out with states %v (want %d)", got, want)
+		}
+	}
+	return got
+}
+
+func TestWatchStreamsLifecycle(t *testing.T) {
+	e := newEnv(t, envOpts{mode: AuthzCallout})
+	bo := e.client(boDN)
+	contact, err := bo.Submit(`&(executable=test1)(directory=/sandbox/test)(jobtag=ADS)(count=2)(simduration=300)`, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	states, stop, err := bo.Watch(contact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	if got := collectStates(t, states, 1, 5*time.Second); got[0] != StateActive {
+		t.Fatalf("initial state = %v", got)
+	}
+	// Suspend, resume, complete: the subscriber sees each transition.
+	if err := bo.Signal(contact, SignalSuspend, ""); err != nil {
+		t.Fatal(err)
+	}
+	if got := collectStates(t, states, 1, 5*time.Second); got[0] != StateSuspended {
+		t.Fatalf("after suspend = %v", got)
+	}
+	if err := bo.Signal(contact, SignalResume, ""); err != nil {
+		t.Fatal(err)
+	}
+	// Resume re-queues then starts: PENDING then ACTIVE.
+	got := collectStates(t, states, 2, 5*time.Second)
+	if got[0] != StatePending || got[1] != StateActive {
+		t.Fatalf("after resume = %v", got)
+	}
+	e.cluster.Advance(10 * time.Minute)
+	got = collectStates(t, states, 1, 5*time.Second)
+	if got[0] != StateDone {
+		t.Fatalf("final = %v", got)
+	}
+	// The channel closes after the terminal state.
+	select {
+	case _, ok := <-states:
+		if ok {
+			t.Errorf("channel not closed after terminal state")
+		}
+	case <-time.After(5 * time.Second):
+		t.Errorf("channel close timed out")
+	}
+}
+
+func TestWatchAuthorization(t *testing.T) {
+	e := newEnv(t, envOpts{mode: AuthzCallout})
+	bo := e.client(boDN)
+	sam := e.client(samDN)
+	contact, err := bo.Submit(`&(executable=test1)(directory=/sandbox/test)(jobtag=ADS)(count=1)(simduration=300)`, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sam holds no information grant for Bo's job.
+	if _, _, err := sam.Watch(contact); !IsAuthorizationDenied(err) {
+		t.Errorf("unauthorized watch = %v", err)
+	}
+	// Unknown contacts are errors, not hangs.
+	if _, _, err := bo.Watch("gram://nowhere/job/9"); err == nil {
+		t.Errorf("unknown contact accepted")
+	}
+}
+
+func TestWatchTerminalJobDeliversFinalStateOnly(t *testing.T) {
+	e := newEnv(t, envOpts{mode: AuthzLegacy})
+	bo := e.client(boDN)
+	contact, err := bo.Submit(`&(executable=test1)(count=1)(simduration=30)`, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.cluster.Advance(time.Minute)
+	states, stop, err := bo.Watch(contact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	got := collectStates(t, states, 1, 5*time.Second)
+	if got[0] != StateDone {
+		t.Fatalf("state = %v", got)
+	}
+}
+
+func TestWatchStopSeversStream(t *testing.T) {
+	e := newEnv(t, envOpts{mode: AuthzLegacy})
+	bo := e.client(boDN)
+	contact, err := bo.Submit(`&(executable=test1)(count=1)(simduration=600)`, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	states, stop, err := bo.Watch(contact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	collectStates(t, states, 1, 5*time.Second)
+	stop()
+	stop() // idempotent
+	select {
+	case _, ok := <-states:
+		if ok {
+			// A buffered state may still be in flight; drain to close.
+			for range states {
+			}
+		}
+	case <-time.After(5 * time.Second):
+		t.Errorf("stream did not end after stop")
+	}
+}

@@ -1,0 +1,181 @@
+package gram
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"gridauth/internal/gsi"
+)
+
+// JobStatus is the client's view of a managed job. The Owner field is the
+// paper's client-side extension: "allowing it to recognize the identity
+// of the job originator", which a VO manager needs when acting on jobs
+// they did not start.
+type JobStatus struct {
+	Contact string
+	State   JobState
+	Owner   gsi.DN
+	Detail  string
+}
+
+// Client is the GRAM client library (the globusrun role): it
+// authenticates to a gatekeeper with the user's (proxy) credential and VO
+// assertions, submits jobs and issues management requests.
+type Client struct {
+	addr string
+	auth *gsi.Authenticator
+
+	mu   sync.Mutex
+	conn net.Conn
+	br   *bufio.Reader
+}
+
+// NewClient creates a client for the gatekeeper at addr, authenticating
+// with cred and presenting the given VO assertions.
+func NewClient(addr string, cred *gsi.Credential, trust *gsi.TrustStore, assertions ...*gsi.Assertion) *Client {
+	opts := []gsi.AuthOption{}
+	if len(assertions) > 0 {
+		opts = append(opts, gsi.WithAssertions(assertions...))
+	}
+	return &Client{
+		addr: addr,
+		auth: gsi.NewAuthenticator(cred, trust, opts...),
+	}
+}
+
+// connect establishes (or reuses) the authenticated channel.
+func (c *Client) connect() error {
+	if c.conn != nil {
+		return nil
+	}
+	conn, err := net.Dial("tcp", c.addr)
+	if err != nil {
+		return fmt.Errorf("gram: dial %s: %w", c.addr, err)
+	}
+	_, br, err := c.auth.Handshake(conn)
+	if err != nil {
+		conn.Close()
+		return fmt.Errorf("gram: authenticate to %s: %w", c.addr, err)
+	}
+	c.conn = conn
+	c.br = br
+	return nil
+}
+
+// Close tears down the connection.
+func (c *Client) Close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn != nil {
+		_ = c.conn.Close()
+		c.conn = nil
+		c.br = nil
+	}
+}
+
+// roundTrip sends one message and reads one reply.
+func (c *Client) roundTrip(m *Message) (*Message, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.connect(); err != nil {
+		return nil, err
+	}
+	if err := WriteMessage(c.conn, m); err != nil {
+		c.resetLocked()
+		return nil, err
+	}
+	reply, err := ReadMessage(c.br)
+	if err != nil {
+		c.resetLocked()
+		return nil, fmt.Errorf("gram: read reply: %w", err)
+	}
+	return reply, nil
+}
+
+func (c *Client) resetLocked() {
+	if c.conn != nil {
+		_ = c.conn.Close()
+		c.conn = nil
+		c.br = nil
+	}
+}
+
+// Submit sends a job request with the given RSL text and optional
+// account, returning the job contact.
+func (c *Client) Submit(rslText, account string) (string, error) {
+	reply, err := c.roundTrip(&Message{Type: MsgJobRequest, RSL: rslText, Account: account})
+	if err != nil {
+		return "", err
+	}
+	if reply.Err != nil {
+		return "", reply.Err
+	}
+	if reply.Contact == "" {
+		return "", errors.New("gram: reply carried no job contact")
+	}
+	return reply.Contact, nil
+}
+
+// Status queries a job. Any authenticated user may ask; policy decides.
+func (c *Client) Status(contact string) (*JobStatus, error) {
+	reply, err := c.roundTrip(&Message{Type: MsgManage, JobContact: contact, Action: ManageStatus})
+	if err != nil {
+		return nil, err
+	}
+	if reply.Err != nil {
+		return nil, reply.Err
+	}
+	return &JobStatus{
+		Contact: contact,
+		State:   JobState(reply.State),
+		Owner:   gsi.DN(reply.Owner),
+		Detail:  reply.Detail,
+	}, nil
+}
+
+// Cancel terminates a job.
+func (c *Client) Cancel(contact string) error {
+	reply, err := c.roundTrip(&Message{Type: MsgManage, JobContact: contact, Action: ManageCancel})
+	if err != nil {
+		return err
+	}
+	if reply.Err != nil {
+		return reply.Err
+	}
+	return nil
+}
+
+// Signal sends a job management signal (suspend, resume, priority).
+func (c *Client) Signal(contact, signal, arg string) error {
+	reply, err := c.roundTrip(&Message{
+		Type:       MsgManage,
+		JobContact: contact,
+		Action:     ManageSignal,
+		Signal:     signal,
+		SignalArg:  arg,
+	})
+	if err != nil {
+		return err
+	}
+	if reply.Err != nil {
+		return reply.Err
+	}
+	return nil
+}
+
+// IsAuthorizationDenied reports whether err is a GRAM authorization
+// denial (as opposed to a system failure or transport error).
+func IsAuthorizationDenied(err error) bool {
+	var pe *ProtoError
+	return errors.As(err, &pe) && pe.Code == CodeAuthorizationDenied
+}
+
+// IsAuthorizationFailure reports whether err is an authorization system
+// failure.
+func IsAuthorizationFailure(err error) bool {
+	var pe *ProtoError
+	return errors.As(err, &pe) && pe.Code == CodeAuthorizationFailure
+}

@@ -1,0 +1,165 @@
+// Package gram implements the GT2 Grid Resource Acquisition and
+// Management system the paper extends: the Gatekeeper, the Job Manager
+// Instance (JMI), the wire protocol between them and Grid clients, and
+// both authorization models — the stock GT2 one (grid-mapfile +
+// initiator-only management, §4) and the paper's extension (authorization
+// callouts before job-request creation and before cancel, query and
+// signal, §5).
+//
+// The wire protocol is newline-delimited JSON over TCP, preceded by a GSI
+// mutual-authentication handshake. It is not the GT2 HTTP-framed
+// protocol, but it carries the same conversation: a job request with an
+// RSL description and a requested account; a reply with a job contact or
+// an error; management requests against a job contact. Per the paper's
+// protocol extension, error replies distinguish authorization DENIAL from
+// authorization SYSTEM FAILURE and carry the denial reason.
+package gram
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Code is a GRAM protocol error code.
+type Code int
+
+// Protocol error codes.
+const (
+	CodeOK Code = iota
+	// CodeAuthentication: the GSI handshake or credential check failed.
+	CodeAuthentication
+	// CodeAuthorizationDenied: a policy evaluation point denied the
+	// request (the paper's authorization-error extension).
+	CodeAuthorizationDenied
+	// CodeAuthorizationFailure: the authorization system itself failed
+	// (misconfigured callout, unreachable PDP, unparseable policy).
+	CodeAuthorizationFailure
+	// CodeBadRSL: the job description did not parse or validate.
+	CodeBadRSL
+	// CodeNoLocalAccount: no local account could be mapped for the user.
+	CodeNoLocalAccount
+	// CodeNoSuchJob: the job contact does not name a live job.
+	CodeNoSuchJob
+	// CodeJobState: the operation is invalid in the job's current state.
+	CodeJobState
+	// CodeLocalScheduler: the local job control system refused the job.
+	CodeLocalScheduler
+	// CodeInternal: anything else.
+	CodeInternal
+)
+
+// String returns the code name.
+func (c Code) String() string {
+	switch c {
+	case CodeOK:
+		return "ok"
+	case CodeAuthentication:
+		return "authentication-failed"
+	case CodeAuthorizationDenied:
+		return "authorization-denied"
+	case CodeAuthorizationFailure:
+		return "authorization-system-failure"
+	case CodeBadRSL:
+		return "bad-rsl"
+	case CodeNoLocalAccount:
+		return "no-local-account"
+	case CodeNoSuchJob:
+		return "no-such-job"
+	case CodeJobState:
+		return "bad-job-state"
+	case CodeLocalScheduler:
+		return "local-scheduler-error"
+	default:
+		return "internal-error"
+	}
+}
+
+// ProtoError is the error payload of a reply.
+type ProtoError struct {
+	Code    Code   `json:"code"`
+	Source  string `json:"source,omitempty"`
+	Message string `json:"message,omitempty"`
+}
+
+// Error implements the error interface.
+func (e *ProtoError) Error() string {
+	if e.Source != "" {
+		return fmt.Sprintf("gram: %s (%s): %s", e.Code, e.Source, e.Message)
+	}
+	return fmt.Sprintf("gram: %s: %s", e.Code, e.Message)
+}
+
+// Message kinds exchanged after the handshake.
+const (
+	MsgJobRequest  = "job-request"
+	MsgJobReply    = "job-reply"
+	MsgManage      = "manage-request"
+	MsgManageReply = "manage-reply"
+)
+
+// Management actions carried by MsgManage. These are the GRAM client
+// operations; they map onto the policy actions cancel, information and
+// signal.
+const (
+	ManageCancel = "cancel"
+	ManageStatus = "status"
+	ManageSignal = "signal"
+)
+
+// Signal subcommands (the paper: "signal describes a variety of job
+// management actions such as changing priority").
+const (
+	SignalSuspend  = "suspend"
+	SignalResume   = "resume"
+	SignalPriority = "priority"
+)
+
+// Message is the protocol envelope.
+type Message struct {
+	Type string `json:"type"`
+
+	// Job request fields.
+	RSL     string `json:"rsl,omitempty"`
+	Account string `json:"account,omitempty"`
+
+	// Management fields.
+	JobContact string `json:"jobContact,omitempty"`
+	Action     string `json:"action,omitempty"`
+	Signal     string `json:"signal,omitempty"`
+	SignalArg  string `json:"signalArg,omitempty"`
+
+	// Reply fields.
+	State   string      `json:"state,omitempty"`
+	Owner   string      `json:"owner,omitempty"`
+	Detail  string      `json:"detail,omitempty"`
+	Contact string      `json:"contact,omitempty"`
+	Err     *ProtoError `json:"error,omitempty"`
+}
+
+// WriteMessage frames and sends a message.
+func WriteMessage(w io.Writer, m *Message) error {
+	b, err := json.Marshal(m)
+	if err != nil {
+		return fmt.Errorf("encode message: %w", err)
+	}
+	b = append(b, '\n')
+	if _, err := w.Write(b); err != nil {
+		return fmt.Errorf("write message: %w", err)
+	}
+	return nil
+}
+
+// ReadMessage reads one framed message.
+func ReadMessage(br *bufio.Reader) (*Message, error) {
+	line, err := br.ReadBytes('\n')
+	if err != nil {
+		return nil, err
+	}
+	var m Message
+	if err := json.Unmarshal(line, &m); err != nil {
+		return nil, fmt.Errorf("decode message: %w", err)
+	}
+	return &m, nil
+}

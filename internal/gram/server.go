@@ -1,0 +1,447 @@
+package gram
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strconv"
+	"sync"
+	"time"
+
+	"gridauth/internal/accounts"
+	"gridauth/internal/core"
+	"gridauth/internal/gridmap"
+	"gridauth/internal/gsi"
+	"gridauth/internal/jobcontrol"
+	"gridauth/internal/policy"
+	"gridauth/internal/rsl"
+)
+
+// Peer is the authenticated remote party (alias of the GSI handshake
+// result).
+type Peer = gsi.Peer
+
+// Placement selects where the policy evaluation point lives (§6.2
+// discusses the trade-off).
+type Placement int
+
+// PEP placements.
+const (
+	// PlacementJM puts the PEP in the Job Manager (the paper's design:
+	// the JM parses job descriptions, so it can evaluate policy that
+	// depends on the request's content). Vulnerable to JM tampering
+	// because the JM runs under the user's local credential.
+	PlacementJM Placement = iota + 1
+	// PlacementGatekeeper puts the PEP in the Gatekeeper: tamper-proof,
+	// at the cost of more complex code in the trusted component.
+	PlacementGatekeeper
+)
+
+// String returns the placement name.
+func (p Placement) String() string {
+	switch p {
+	case PlacementJM:
+		return "job-manager"
+	case PlacementGatekeeper:
+		return "gatekeeper"
+	default:
+		return fmt.Sprintf("Placement(%d)", int(p))
+	}
+}
+
+// Config assembles a Gatekeeper.
+type Config struct {
+	// Credential is the gatekeeper's service credential.
+	Credential *gsi.Credential
+	// Trust verifies client credential chains.
+	Trust *gsi.TrustStore
+	// VOCerts are certificates of VOs whose assertions are accepted.
+	VOCerts []*gsi.Certificate
+	// GridMap is the grid-mapfile (ACL + account mapping).
+	GridMap *gridmap.Map
+	// Accounts is the local account layer; nil disables account rights
+	// checks.
+	Accounts *accounts.Manager
+	// DynamicAccounts leases pool accounts for users absent from the
+	// grid-mapfile (§6.1's dynamic accounts).
+	DynamicAccounts bool
+	// DynamicLease is the dynamic account lease duration.
+	DynamicLease time.Duration
+	// Registry is the authorization callout registry (required for
+	// AuthzCallout).
+	Registry *core.Registry
+	// Mode selects the authorization model.
+	Mode AuthzMode
+	// Placement selects the PEP location in callout mode.
+	Placement Placement
+	// Cluster is the local job control system.
+	Cluster *jobcontrol.Cluster
+	// DefaultPriority is the scheduler priority for jobs that do not set
+	// one.
+	DefaultPriority int
+	// TamperJMI makes every JMI skip its own management authorization,
+	// simulating the §6.2 user-tampered job manager (test hook for E7).
+	TamperJMI bool
+	// OnJobStart, when set, is called after a job is successfully
+	// submitted to the local scheduler, with the GRAM job contact (the
+	// JobID presented to startup callouts) and the scheduler's job ID.
+	// Accounting layers (e.g. the VO allocation tracker) use it to
+	// rebind admission-time reservations to scheduler jobs.
+	OnJobStart func(jobContact, lrmJobID string)
+	// OnJobAborted, when set, is called when a job request passed the
+	// authorization callout but failed a later step (account rights,
+	// local scheduler), so reservations made at admission can be
+	// released.
+	OnJobAborted func(jobContact string)
+}
+
+// Gatekeeper is the resource-side GRAM daemon: it authenticates clients,
+// authorizes and maps job requests, creates Job Manager Instances and
+// routes management traffic to them (Figures 1 and 2).
+type Gatekeeper struct {
+	cfg  Config
+	auth *gsi.Authenticator
+
+	mu     sync.Mutex
+	jobs   map[string]*JMI
+	nextID int
+	conns  map[net.Conn]struct{}
+	hub    *watchHub
+
+	listener net.Listener
+	wg       sync.WaitGroup
+	closed   chan struct{}
+}
+
+// NewGatekeeper validates the configuration and builds a gatekeeper.
+func NewGatekeeper(cfg Config) (*Gatekeeper, error) {
+	if cfg.Credential == nil || cfg.Trust == nil {
+		return nil, errors.New("gram: gatekeeper needs a credential and a trust store")
+	}
+	if cfg.GridMap == nil {
+		return nil, errors.New("gram: gatekeeper needs a grid-mapfile")
+	}
+	if cfg.Cluster == nil {
+		return nil, errors.New("gram: gatekeeper needs a local job control system")
+	}
+	if cfg.Mode == 0 {
+		cfg.Mode = AuthzLegacy
+	}
+	if cfg.Placement == 0 {
+		cfg.Placement = PlacementJM
+	}
+	if cfg.Mode == AuthzCallout && cfg.Registry == nil {
+		return nil, errors.New("gram: callout mode needs a registry")
+	}
+	if cfg.DynamicLease == 0 {
+		cfg.DynamicLease = 8 * time.Hour
+	}
+	opts := []gsi.AuthOption{}
+	for _, c := range cfg.VOCerts {
+		opts = append(opts, gsi.WithVOCert(c))
+	}
+	return &Gatekeeper{
+		cfg:    cfg,
+		auth:   gsi.NewAuthenticator(cfg.Credential, cfg.Trust, opts...),
+		jobs:   make(map[string]*JMI),
+		conns:  make(map[net.Conn]struct{}),
+		hub:    newWatchHub(cfg.Cluster),
+		closed: make(chan struct{}),
+	}, nil
+}
+
+// Serve accepts connections on l until Close is called. It returns after
+// the accept loop ends; per-connection goroutines are waited for by
+// Close.
+func (g *Gatekeeper) Serve(l net.Listener) error {
+	g.mu.Lock()
+	g.listener = l
+	g.mu.Unlock()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			select {
+			case <-g.closed:
+				return nil
+			default:
+				return fmt.Errorf("gram: accept: %w", err)
+			}
+		}
+		g.wg.Add(1)
+		go func() {
+			defer g.wg.Done()
+			g.handleConn(conn)
+		}()
+	}
+}
+
+// Close stops the accept loop, severs every active connection and waits
+// for connection handlers to drain.
+func (g *Gatekeeper) Close() {
+	g.mu.Lock()
+	select {
+	case <-g.closed:
+	default:
+		close(g.closed)
+	}
+	l := g.listener
+	conns := make([]net.Conn, 0, len(g.conns))
+	for c := range g.conns {
+		conns = append(conns, c)
+	}
+	g.mu.Unlock()
+	if l != nil {
+		_ = l.Close()
+	}
+	for _, c := range conns {
+		_ = c.Close()
+	}
+	g.wg.Wait()
+}
+
+// track registers a live connection; the returned func forgets it.
+func (g *Gatekeeper) track(conn net.Conn) func() {
+	g.mu.Lock()
+	g.conns[conn] = struct{}{}
+	g.mu.Unlock()
+	return func() {
+		g.mu.Lock()
+		delete(g.conns, conn)
+		g.mu.Unlock()
+	}
+}
+
+// JobCount returns the number of JMIs created.
+func (g *Gatekeeper) JobCount() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.jobs)
+}
+
+// Job returns the JMI for a contact (test and tooling hook).
+func (g *Gatekeeper) Job(contact string) (*JMI, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	j, ok := g.jobs[contact]
+	return j, ok
+}
+
+func (g *Gatekeeper) handleConn(conn net.Conn) {
+	defer conn.Close()
+	defer g.track(conn)()
+	peer, br, err := g.auth.Handshake(conn)
+	if err != nil {
+		// The handshake failed; there is no authenticated channel to
+		// report the error on, matching GT2 behaviour.
+		return
+	}
+	for {
+		msg, err := ReadMessage(br)
+		if err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+				_ = WriteMessage(conn, &Message{
+					Type: MsgJobReply,
+					Err:  &ProtoError{Code: CodeInternal, Message: err.Error()},
+				})
+			}
+			return
+		}
+		var reply *Message
+		switch msg.Type {
+		case MsgJobRequest:
+			reply = g.handleJobRequest(peer, msg)
+		case MsgManage:
+			reply = g.handleManage(peer, msg)
+		case MsgSubscribe:
+			// Subscriptions take over the connection for streaming.
+			g.handleSubscribe(peer, msg, conn)
+			return
+		default:
+			reply = &Message{
+				Type: MsgManageReply,
+				Err:  &ProtoError{Code: CodeInternal, Message: fmt.Sprintf("unknown message type %q", msg.Type)},
+			}
+		}
+		if err := WriteMessage(conn, reply); err != nil {
+			return
+		}
+	}
+}
+
+// handleJobRequest implements the Figure 1/2 startup path:
+// authentication has already happened; now authorization, account
+// mapping, JMI creation and job submission.
+func (g *Gatekeeper) handleJobRequest(peer *Peer, msg *Message) *Message {
+	fail := func(perr *ProtoError) *Message {
+		return &Message{Type: MsgJobReply, Err: perr}
+	}
+	if peer.Limited {
+		// GT2 gatekeepers refuse job startup with limited proxies.
+		return fail(&ProtoError{Code: CodeAuthentication, Message: "limited proxy may not start jobs"})
+	}
+
+	// Parse and validate the RSL job description.
+	spec, err := rsl.ParseSpec(msg.RSL)
+	if err != nil {
+		return fail(&ProtoError{Code: CodeBadRSL, Message: err.Error()})
+	}
+	if err := rsl.Validate(spec); err != nil {
+		return fail(&ProtoError{Code: CodeBadRSL, Message: err.Error()})
+	}
+
+	// Stock GT2 authorization: presence in the grid-mapfile. With
+	// dynamic accounts the mapping step can create an account instead,
+	// relieving shortcoming (5).
+	account, mapped := g.cfg.GridMap.LookupAccount(peer.Identity, msg.Account)
+	if !mapped {
+		if !g.cfg.DynamicAccounts || g.cfg.Accounts == nil {
+			return fail(&ProtoError{
+				Code:    CodeNoLocalAccount,
+				Message: fmt.Sprintf("no grid-mapfile entry maps %s (requested account %q)", peer.Identity, msg.Account),
+			})
+		}
+		lease, lerr := g.cfg.Accounts.Lease(peer.Identity, rightsFromSpec(spec), g.cfg.DynamicLease)
+		if lerr != nil {
+			return fail(&ProtoError{Code: CodeNoLocalAccount, Message: lerr.Error()})
+		}
+		account = lease.Name
+	}
+
+	// Allocate the GRAM job contact before authorization so callouts
+	// (and any accounting they do) see a stable job identifier.
+	g.mu.Lock()
+	g.nextID++
+	contact := fmt.Sprintf("gram://%s/job/%d", g.cfg.Credential.Identity().CN(), g.nextID)
+	g.mu.Unlock()
+	abort := func(perr *ProtoError) *Message {
+		if g.cfg.OnJobAborted != nil {
+			g.cfg.OnJobAborted(contact)
+		}
+		return fail(perr)
+	}
+
+	// The paper's extension: evaluate the start request against the
+	// callout chain before creating the job manager request.
+	if g.cfg.Mode == AuthzCallout {
+		req := &core.Request{
+			Subject:    peer.Identity,
+			Assertions: peer.Assertions,
+			Action:     policy.ActionStart,
+			JobID:      contact,
+			Spec:       spec,
+			Account:    account,
+		}
+		calloutType := core.CalloutJobManager
+		if g.cfg.Placement == PlacementGatekeeper {
+			calloutType = core.CalloutGatekeeper
+		}
+		if perr := decisionToProto(g.cfg.Registry.Invoke(calloutType, req)); perr != nil {
+			return fail(perr)
+		}
+	}
+
+	// Local enforcement vehicle: the account's coarse rights (§4.3(4)).
+	if g.cfg.Accounts != nil {
+		if acct, err := g.cfg.Accounts.Lookup(account); err == nil {
+			count := 1
+			if spec.Has("count") {
+				count, _ = strconv.Atoi(spec.Get("count"))
+			}
+			disk := 0
+			if spec.Has("disk") {
+				disk, _ = strconv.Atoi(spec.Get("disk"))
+			}
+			var wall time.Duration
+			if spec.Has("maxtime") {
+				m, _ := strconv.Atoi(spec.Get("maxtime"))
+				wall = time.Duration(m) * time.Minute
+			}
+			if err := acct.CheckJob(count, disk, wall); err != nil {
+				return abort(&ProtoError{Code: CodeAuthorizationDenied, Source: "local-account", Message: err.Error()})
+			}
+		}
+	}
+
+	// Create the Job Manager Instance and submit the job.
+	g.mu.Lock()
+	jmi := &JMI{
+		Contact:  contact,
+		Owner:    peer.Identity,
+		Account:  account,
+		Spec:     spec,
+		mode:     g.cfg.Mode,
+		registry: g.cfg.Registry,
+		cluster:  g.cfg.Cluster,
+		tampered: g.cfg.TamperJMI,
+	}
+	g.jobs[contact] = jmi
+	g.mu.Unlock()
+
+	if perr := jmi.start(g.cfg.DefaultPriority); perr != nil {
+		g.mu.Lock()
+		delete(g.jobs, contact)
+		g.mu.Unlock()
+		return abort(perr)
+	}
+	g.hub.register(jmi.LRMJobID(), contact)
+	if g.cfg.OnJobStart != nil {
+		g.cfg.OnJobStart(contact, jmi.LRMJobID())
+	}
+	return &Message{Type: MsgJobReply, Contact: contact}
+}
+
+// rightsFromSpec derives the per-request account configuration for a
+// dynamic lease — §6.1: "account configuration relevant to policies for a
+// particular resource management request".
+func rightsFromSpec(spec *rsl.Spec) accounts.Rights {
+	r := accounts.Rights{}
+	if spec.Has("count") {
+		if n, err := strconv.Atoi(spec.Get("count")); err == nil {
+			r.MaxCPUs = n
+		}
+	}
+	if spec.Has("disk") {
+		if n, err := strconv.Atoi(spec.Get("disk")); err == nil {
+			r.DiskQuotaMB = n
+		}
+	}
+	if spec.Has("maxtime") {
+		if n, err := strconv.Atoi(spec.Get("maxtime")); err == nil {
+			r.MaxWallTime = time.Duration(n) * time.Minute
+		}
+	}
+	return r
+}
+
+// handleManage routes a management request to the job's JMI. With the
+// PEP placed in the Gatekeeper, authorization happens here — in the
+// trusted component — and the JMI is told to skip its own check; the
+// trade-off §6.2 describes.
+func (g *Gatekeeper) handleManage(peer *Peer, msg *Message) *Message {
+	g.mu.Lock()
+	jmi, ok := g.jobs[msg.JobContact]
+	g.mu.Unlock()
+	if !ok {
+		return manageError(&ProtoError{Code: CodeNoSuchJob, Message: fmt.Sprintf("no job %q", msg.JobContact)})
+	}
+	if g.cfg.Mode == AuthzCallout && g.cfg.Placement == PlacementGatekeeper {
+		action := manageToPolicyAction(msg.Action)
+		if action == "" {
+			return manageError(&ProtoError{Code: CodeInternal, Message: fmt.Sprintf("unknown action %q", msg.Action)})
+		}
+		req := &core.Request{
+			Subject:    peer.Identity,
+			Assertions: peer.Assertions,
+			Action:     action,
+			JobID:      jmi.Contact,
+			JobOwner:   jmi.Owner,
+			Spec:       jmi.Spec,
+		}
+		if perr := decisionToProto(g.cfg.Registry.Invoke(core.CalloutGatekeeper, req)); perr != nil {
+			return manageError(perr)
+		}
+		return jmi.managePreauthorized(msg)
+	}
+	return jmi.Manage(peer, msg)
+}

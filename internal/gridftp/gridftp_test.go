@@ -1,0 +1,227 @@
+package gridftp
+
+import (
+	"bytes"
+	"errors"
+	"net"
+	"testing"
+
+	"gridauth/internal/core"
+	"gridauth/internal/gsi"
+	"gridauth/internal/policy"
+)
+
+const (
+	aliceDN = gsi.DN("/O=Grid/CN=Alice")
+	bobDN   = gsi.DN("/O=Grid/CN=Bob")
+)
+
+const ftpPolicy = `
+# Everyone in /O=Grid may read the public area.
+/O=Grid: &(action = get list)(dir = /public)
+
+# Alice owns her home: writes capped at 1 MiB, deletes allowed.
+/O=Grid/CN=Alice:
+  &(action = get put list)(dir = /home/alice)(size<=1048576)
+  &(action = delete)(dir = /home/alice)
+`
+
+type ftpEnv struct {
+	store  *Store
+	addr   string
+	trust  *gsi.TrustStore
+	alice  *gsi.Credential
+	bob    *gsi.Credential
+	server *Server
+}
+
+func newFtpEnv(t *testing.T) *ftpEnv {
+	t.Helper()
+	ca, err := gsi.NewCA("/O=Grid/CN=CA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	trust := gsi.NewTrustStore(ca.Certificate())
+	alice, err := ca.Issue(aliceDN, gsi.KindUser)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bob, err := ca.Issue(bobDN, gsi.KindUser)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svcCred, err := ca.Issue("/O=Grid/CN=gridftp/data.anl.gov", gsi.KindService)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := core.NewRegistry()
+	reg.Bind(CalloutGridFTP, &core.PolicyPDP{Policy: policy.MustParse(ftpPolicy, "site")})
+
+	store := NewStore()
+	store.Put("/public/readme.txt", []byte("welcome"))
+	store.Put("/public/data.bin", []byte{1, 2, 3})
+	store.Put("/home/alice/notes.txt", []byte("mine"))
+	store.Put("/home/bob/secret.txt", []byte("bob's"))
+
+	srv, err := NewServer(svcCred, trust, reg, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = srv.Serve(l)
+	}()
+	t.Cleanup(func() {
+		srv.Close()
+		<-done
+	})
+	return &ftpEnv{store: store, addr: l.Addr().String(), trust: trust, alice: alice, bob: bob, server: srv}
+}
+
+func (e *ftpEnv) client(t *testing.T, cred *gsi.Credential) *Client {
+	t.Helper()
+	c := NewClient(e.addr, cred, e.trust)
+	t.Cleanup(c.Close)
+	return c
+}
+
+func TestPublicReadForEveryone(t *testing.T) {
+	e := newFtpEnv(t)
+	for _, cred := range []*gsi.Credential{e.alice, e.bob} {
+		c := e.client(t, cred)
+		data, err := c.Get("/public/readme.txt")
+		if err != nil {
+			t.Fatalf("%s: %v", cred.Identity(), err)
+		}
+		if string(data) != "welcome" {
+			t.Errorf("data = %q", data)
+		}
+		names, err := c.List("/public")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(names) != 2 || names[0] != "data.bin" {
+			t.Errorf("names = %v", names)
+		}
+	}
+}
+
+func TestHomeDirectoryRights(t *testing.T) {
+	e := newFtpEnv(t)
+	alice := e.client(t, e.alice)
+	bob := e.client(t, e.bob)
+
+	// Alice reads and writes her home.
+	if err := alice.Put("/home/alice/new.txt", []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if data, err := alice.Get("/home/alice/new.txt"); err != nil || string(data) != "hello" {
+		t.Fatalf("get back: %q, %v", data, err)
+	}
+	// Bob cannot read Alice's home; the policy names no grant for him.
+	if _, err := bob.Get("/home/alice/notes.txt"); !errors.Is(err, ErrDenied) {
+		t.Errorf("bob read alice's home: %v", err)
+	}
+	// Alice cannot write outside her grants.
+	if err := alice.Put("/public/vandalism.txt", []byte("x")); !errors.Is(err, ErrDenied) {
+		t.Errorf("alice wrote public: %v", err)
+	}
+	if err := alice.Put("/home/bob/x", []byte("x")); !errors.Is(err, ErrDenied) {
+		t.Errorf("alice wrote bob's home: %v", err)
+	}
+	// Size cap applies: a 2 MiB upload is denied.
+	big := bytes.Repeat([]byte("a"), 2<<20)
+	if err := alice.Put("/home/alice/big.bin", big); !errors.Is(err, ErrDenied) {
+		t.Errorf("oversized put: %v", err)
+	}
+	// Delete is a separate grant.
+	if err := alice.Delete("/home/alice/new.txt"); err != nil {
+		t.Fatal(err)
+	}
+	if err := bob.Delete("/public/readme.txt"); !errors.Is(err, ErrDenied) {
+		t.Errorf("bob deleted public file: %v", err)
+	}
+}
+
+func TestNotFoundAndBadPaths(t *testing.T) {
+	e := newFtpEnv(t)
+	alice := e.client(t, e.alice)
+	if _, err := alice.Get("/public/missing"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("missing get: %v", err)
+	}
+	if err := alice.Delete("/home/alice/missing"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("missing delete: %v", err)
+	}
+	if _, err := alice.Get("relative/path"); err == nil {
+		t.Errorf("relative path accepted")
+	}
+	// Path traversal is cleaned server-side: /public/../home/bob/...
+	// resolves to bob's home, which the policy denies Alice.
+	if _, err := alice.Get("/public/../home/bob/secret.txt"); !errors.Is(err, ErrDenied) {
+		t.Errorf("traversal slipped through policy: %v", err)
+	}
+}
+
+func TestUnconfiguredCalloutFailsClosed(t *testing.T) {
+	e := newFtpEnv(t)
+	// Fresh server with an empty registry: everything is an authz
+	// system failure, never a silent permit.
+	ca, err := gsi.NewCA("/O=Grid/CN=CA2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	trust := gsi.NewTrustStore(ca.Certificate())
+	svc, err := ca.Issue("/O=Grid/CN=gridftp/x", gsi.KindService)
+	if err != nil {
+		t.Fatal(err)
+	}
+	user, err := ca.Issue(aliceDN, gsi.KindUser)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer(svc, trust, core.NewRegistry(), e.store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() { defer close(done); _ = srv.Serve(l) }()
+	defer func() { srv.Close(); <-done }()
+	c := NewClient(l.Addr().String(), user, trust)
+	defer c.Close()
+	_, err = c.Get("/public/readme.txt")
+	if err == nil || errors.Is(err, ErrDenied) || errors.Is(err, ErrNotFound) {
+		t.Errorf("unconfigured callout: %v", err)
+	}
+}
+
+func TestStoreBasics(t *testing.T) {
+	s := NewStore()
+	s.Put("/a/b/c.txt", []byte("1"))
+	s.Put("/a/b/d.txt", []byte("2"))
+	s.Put("/a/e.txt", []byte("3"))
+	if got := s.List("/a/b"); len(got) != 2 {
+		t.Errorf("List = %v", got)
+	}
+	if got := s.List("/a"); len(got) != 1 || got[0] != "e.txt" {
+		t.Errorf("List(/a) = %v", got)
+	}
+	if !s.Delete("/a/e.txt") || s.Delete("/a/e.txt") {
+		t.Errorf("Delete semantics wrong")
+	}
+	// Stored data is isolated from caller mutation.
+	buf := []byte("mut")
+	s.Put("/m", buf)
+	buf[0] = 'X'
+	if got, _ := s.Get("/m"); string(got) != "mut" {
+		t.Errorf("store aliased caller buffer")
+	}
+}

@@ -1,0 +1,107 @@
+// Package gsi simulates the Grid Security Infrastructure used by the
+// Globus Toolkit 2: X.509-style identity certificates with distinguished
+// names, proxy-certificate delegation, VO attribute assertions and a
+// mutual-authentication handshake.
+//
+// The simulation is faithful where the authorization layer cares:
+// credentials carry real Ed25519 signatures, chains verify against trust
+// anchors, proxies are bound to their issuing identity, and assertions are
+// signed by the VO. It deliberately omits ASN.1/X.509 wire compatibility,
+// which the paper's authorization design never depends on.
+package gsi
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DN is an X.509-style distinguished name in the slash-separated Globus
+// rendering, e.g. "/O=Grid/O=Globus/OU=mcs.anl.gov/CN=Kate Keahey".
+type DN string
+
+// RDN is a single relative distinguished name component.
+type RDN struct {
+	Type  string // e.g. "O", "OU", "CN"
+	Value string
+}
+
+// ParseDN splits a DN into its RDN components. It returns an error when
+// the string is not of the form "/T=V/T=V...".
+func ParseDN(s string) ([]RDN, error) {
+	if s == "" {
+		return nil, fmt.Errorf("gsi: empty DN")
+	}
+	if !strings.HasPrefix(s, "/") {
+		return nil, fmt.Errorf("gsi: DN %q must start with '/'", s)
+	}
+	parts := strings.Split(s[1:], "/")
+	rdns := make([]RDN, 0, len(parts))
+	for _, p := range parts {
+		ty, val, ok := strings.Cut(p, "=")
+		if !ok || ty == "" {
+			// Globus service DNs embed slashes in values, e.g.
+			// "/CN=gatekeeper/fusion.anl.gov": a component without '='
+			// continues the previous RDN's value.
+			if len(rdns) == 0 || p == "" {
+				return nil, fmt.Errorf("gsi: malformed RDN %q in DN %q", p, s)
+			}
+			rdns[len(rdns)-1].Value += "/" + p
+			continue
+		}
+		rdns = append(rdns, RDN{Type: ty, Value: val})
+	}
+	return rdns, nil
+}
+
+// Valid reports whether the DN parses.
+func (d DN) Valid() bool {
+	_, err := ParseDN(string(d))
+	return err == nil
+}
+
+// String returns the DN text.
+func (d DN) String() string { return string(d) }
+
+// CN returns the value of the last CN component, or "" when there is none.
+func (d DN) CN() string {
+	rdns, err := ParseDN(string(d))
+	if err != nil {
+		return ""
+	}
+	for i := len(rdns) - 1; i >= 0; i-- {
+		if rdns[i].Type == "CN" {
+			return rdns[i].Value
+		}
+	}
+	return ""
+}
+
+// HasPrefix reports whether d begins with prefix. This is the group
+// matching rule of the paper's policy language: a statement subject such
+// as "/O=Grid/O=Globus/OU=mcs.anl.gov" applies to every identity whose DN
+// starts with that string.
+func (d DN) HasPrefix(prefix DN) bool {
+	return strings.HasPrefix(string(d), string(prefix))
+}
+
+// WithCN returns the DN extended by one CN component, as proxy
+// certificates do ("/CN=proxy").
+func (d DN) WithCN(cn string) DN {
+	return DN(string(d) + "/CN=" + cn)
+}
+
+// Base strips trailing "/CN=proxy" and "/CN=limited proxy" components,
+// yielding the end-entity identity a proxy chain acts for.
+func (d DN) Base() DN {
+	s := string(d)
+	for {
+		switch {
+		case strings.HasSuffix(s, "/CN=proxy"):
+			s = strings.TrimSuffix(s, "/CN=proxy")
+		case strings.HasSuffix(s, "/CN=limited proxy"):
+			s = strings.TrimSuffix(s, "/CN=limited proxy")
+		default:
+			return DN(s)
+		}
+	}
+}

@@ -1,0 +1,187 @@
+package gsi
+
+import (
+	"bufio"
+	"crypto/rand"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+)
+
+// Handshake errors.
+var (
+	ErrHandshakeFailed = errors.New("gsi: mutual authentication failed")
+)
+
+const nonceLen = 32
+
+// handshakeMsg is one leg of the mutual-authentication exchange.
+type handshakeMsg struct {
+	Chain      []*Certificate `json:"chain"`
+	Nonce      []byte         `json:"nonce"`               // challenge for the peer
+	Signature  []byte         `json:"signature,omitempty"` // over the peer's nonce
+	Assertions []*Assertion   `json:"assertions,omitempty"`
+}
+
+// Peer describes the authenticated remote side of a connection.
+type Peer struct {
+	// Identity is the verified Grid identity (proxy CNs stripped).
+	Identity DN
+	// Subject is the literal leaf subject, including proxy components.
+	Subject DN
+	// Limited reports whether the peer authenticated with a limited proxy.
+	Limited bool
+	// Credential is the peer's verification-only credential.
+	Credential *Credential
+	// Assertions are the VO attribute assertions the peer presented.
+	// Signature and holder verification has been performed; validity of
+	// the *contents* is the authorization layer's business.
+	Assertions []*Assertion
+}
+
+// Authenticator performs GSI-style mutual authentication over a stream.
+type Authenticator struct {
+	cred    *Credential
+	trust   *TrustStore
+	voCerts map[DN]*Certificate
+	now     func() time.Time
+	asserts []*Assertion
+}
+
+// AuthOption configures an Authenticator.
+type AuthOption func(*Authenticator)
+
+// WithAssertions attaches VO assertions that will be presented to peers.
+func WithAssertions(as ...*Assertion) AuthOption {
+	return func(a *Authenticator) { a.asserts = append(a.asserts, as...) }
+}
+
+// WithVOCert registers a VO certificate used to verify presented
+// assertions. Assertions from unknown VOs are dropped, not fatal.
+func WithVOCert(cert *Certificate) AuthOption {
+	return func(a *Authenticator) { a.voCerts[cert.Subject] = cert }
+}
+
+// WithNow sets the authenticator's time source.
+func WithNow(now func() time.Time) AuthOption {
+	return func(a *Authenticator) { a.now = now }
+}
+
+// NewAuthenticator builds an authenticator for the local credential,
+// trusting chains that verify against trust.
+func NewAuthenticator(cred *Credential, trust *TrustStore, opts ...AuthOption) *Authenticator {
+	a := &Authenticator{
+		cred:    cred,
+		trust:   trust,
+		voCerts: make(map[DN]*Certificate),
+		now:     time.Now,
+	}
+	for _, o := range opts {
+		o(a)
+	}
+	return a
+}
+
+// Handshake runs mutual authentication over rw. Both sides call it; the
+// exchange is symmetric: each sends its chain plus a fresh nonce, then
+// each returns a signature over the peer's nonce. On success it returns
+// the verified peer and the buffered reader used for the exchange —
+// callers MUST continue reading from that reader, not from rw directly,
+// because it may already hold bytes of the next protocol message.
+func (a *Authenticator) Handshake(rw io.ReadWriter) (*Peer, *bufio.Reader, error) {
+	br := bufio.NewReader(rw)
+	peer, err := a.handshake(rw, br)
+	if err != nil {
+		return nil, nil, err
+	}
+	return peer, br, nil
+}
+
+func (a *Authenticator) handshake(rw io.ReadWriter, br *bufio.Reader) (*Peer, error) {
+
+	nonce := make([]byte, nonceLen)
+	if _, err := rand.Read(nonce); err != nil {
+		return nil, fmt.Errorf("generate nonce: %w", err)
+	}
+	hello := handshakeMsg{
+		Chain:      a.cred.Public().Chain,
+		Nonce:      nonce,
+		Assertions: a.asserts,
+	}
+	// Send and receive concurrently: the exchange is symmetric and both
+	// sides transmit first, so a synchronous transport (e.g. net.Pipe)
+	// must not serialize the two hellos.
+	sendErr := make(chan error, 1)
+	go func() { sendErr <- writeJSON(rw, &hello) }()
+	var peerHello handshakeMsg
+	if err := readJSON(br, &peerHello); err != nil {
+		return nil, fmt.Errorf("read peer hello: %w", err)
+	}
+	if err := <-sendErr; err != nil {
+		return nil, fmt.Errorf("send hello: %w", err)
+	}
+	if len(peerHello.Nonce) != nonceLen {
+		return nil, fmt.Errorf("%w: bad peer nonce", ErrHandshakeFailed)
+	}
+	peerCred := &Credential{Chain: peerHello.Chain}
+	identity, err := a.trust.Verify(peerCred, a.now())
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrHandshakeFailed, err)
+	}
+
+	// Prove possession of our key by signing the peer's nonce; check the
+	// peer's proof over ours.
+	sig, err := a.cred.Sign(peerHello.Nonce)
+	if err != nil {
+		return nil, err
+	}
+	go func() { sendErr <- writeJSON(rw, &handshakeMsg{Signature: sig}) }()
+	var peerProof handshakeMsg
+	if err := readJSON(br, &peerProof); err != nil {
+		return nil, fmt.Errorf("read peer proof: %w", err)
+	}
+	if err := <-sendErr; err != nil {
+		return nil, fmt.Errorf("send proof: %w", err)
+	}
+	if err := peerCred.VerifyBy(nonce, peerProof.Signature); err != nil {
+		return nil, fmt.Errorf("%w: peer failed proof of possession", ErrHandshakeFailed)
+	}
+
+	peer := &Peer{
+		Identity:   identity,
+		Subject:    peerCred.Subject(),
+		Limited:    peerCred.Leaf().Kind == KindLimited,
+		Credential: peerCred,
+	}
+	for _, as := range peerHello.Assertions {
+		voCert, ok := a.voCerts[as.Issuer]
+		if !ok {
+			continue // unknown VO: ignore the assertion
+		}
+		if err := VerifyAssertion(as, voCert, identity, a.now()); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrHandshakeFailed, err)
+		}
+		peer.Assertions = append(peer.Assertions, as)
+	}
+	return peer, nil
+}
+
+func writeJSON(w io.Writer, v any) error {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+func readJSON(br *bufio.Reader, v any) error {
+	line, err := br.ReadBytes('\n')
+	if err != nil {
+		return err
+	}
+	return json.Unmarshal(line, v)
+}

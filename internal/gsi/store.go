@@ -1,0 +1,93 @@
+package gsi
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// credentialFile is the on-disk form of a credential.
+type credentialFile struct {
+	Chain []*Certificate `json:"chain"`
+	Key   []byte         `json:"key,omitempty"`
+}
+
+// SaveCredential writes a credential (including its private key, when
+// present) to path with owner-only permissions, the moral equivalent of
+// a proxy file in /tmp/x509up_u<uid>.
+func SaveCredential(cred *Credential, path string) error {
+	b, err := json.MarshalIndent(&credentialFile{Chain: cred.Chain, Key: cred.Key}, "", "  ")
+	if err != nil {
+		return fmt.Errorf("gsi: encode credential: %w", err)
+	}
+	if err := os.WriteFile(path, b, 0o600); err != nil {
+		return fmt.Errorf("gsi: write credential: %w", err)
+	}
+	return nil
+}
+
+// LoadCredential reads a credential written by SaveCredential.
+func LoadCredential(path string) (*Credential, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("gsi: read credential: %w", err)
+	}
+	var f credentialFile
+	if err := json.Unmarshal(b, &f); err != nil {
+		return nil, fmt.Errorf("gsi: decode credential %s: %w", path, err)
+	}
+	if len(f.Chain) == 0 {
+		return nil, fmt.Errorf("gsi: credential %s has no certificates", path)
+	}
+	return &Credential{Chain: f.Chain, Key: f.Key}, nil
+}
+
+// SaveCertificate writes a single certificate (e.g. a trust anchor).
+func SaveCertificate(cert *Certificate, path string) error {
+	b, err := json.MarshalIndent(cert, "", "  ")
+	if err != nil {
+		return fmt.Errorf("gsi: encode certificate: %w", err)
+	}
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		return fmt.Errorf("gsi: write certificate: %w", err)
+	}
+	return nil
+}
+
+// LoadCertificate reads a certificate written by SaveCertificate.
+func LoadCertificate(path string) (*Certificate, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("gsi: read certificate: %w", err)
+	}
+	var c Certificate
+	if err := json.Unmarshal(b, &c); err != nil {
+		return nil, fmt.Errorf("gsi: decode certificate %s: %w", path, err)
+	}
+	return &c, nil
+}
+
+// SaveAssertion writes a VO assertion to path.
+func SaveAssertion(a *Assertion, path string) error {
+	b, err := json.MarshalIndent(a, "", "  ")
+	if err != nil {
+		return fmt.Errorf("gsi: encode assertion: %w", err)
+	}
+	if err := os.WriteFile(path, b, 0o600); err != nil {
+		return fmt.Errorf("gsi: write assertion: %w", err)
+	}
+	return nil
+}
+
+// LoadAssertion reads an assertion written by SaveAssertion.
+func LoadAssertion(path string) (*Assertion, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("gsi: read assertion: %w", err)
+	}
+	var a Assertion
+	if err := json.Unmarshal(b, &a); err != nil {
+		return nil, fmt.Errorf("gsi: decode assertion %s: %w", path, err)
+	}
+	return &a, nil
+}

@@ -1,0 +1,138 @@
+package gsi
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestCredentialSaveLoad(t *testing.T) {
+	ca := newTestCA(t)
+	kate, err := ca.Issue(kateDN, KindUser)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "kate.cred")
+	if err := SaveCredential(kate, path); err != nil {
+		t.Fatal(err)
+	}
+	// Owner-only permissions, like a proxy file.
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Mode().Perm() != 0o600 {
+		t.Errorf("perm = %v", info.Mode().Perm())
+	}
+	loaded, err := LoadCredential(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Identity() != kateDN {
+		t.Errorf("identity = %s", loaded.Identity())
+	}
+	// The private key survives: the credential can still sign, and the
+	// chain still verifies.
+	sig, err := loaded.Sign([]byte("msg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := loaded.VerifyBy([]byte("msg"), sig); err != nil {
+		t.Fatal(err)
+	}
+	trust := NewTrustStore(ca.Certificate())
+	if _, err := trust.Verify(loaded, time.Now()); err != nil {
+		t.Fatal(err)
+	}
+	// A public (keyless) credential round-trips too.
+	pubPath := filepath.Join(t.TempDir(), "pub.cred")
+	if err := SaveCredential(kate.Public(), pubPath); err != nil {
+		t.Fatal(err)
+	}
+	pub, err := LoadCredential(pubPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pub.Key != nil {
+		t.Errorf("public credential grew a key")
+	}
+}
+
+func TestCertificateSaveLoad(t *testing.T) {
+	ca := newTestCA(t)
+	path := filepath.Join(t.TempDir(), "ca.cert")
+	if err := SaveCertificate(ca.Certificate(), path); err != nil {
+		t.Fatal(err)
+	}
+	cert, err := LoadCertificate(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cert.Subject != ca.Certificate().Subject {
+		t.Errorf("subject = %s", cert.Subject)
+	}
+	// The reloaded anchor still verifies chains.
+	kate, err := ca.Issue(kateDN, KindUser)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewTrustStore(cert).Verify(kate, time.Now()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAssertionSaveLoad(t *testing.T) {
+	ca := newTestCA(t)
+	vo, err := ca.Issue("/O=Grid/CN=NFC VO", KindService)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := &Assertion{
+		VO: "NFC", Holder: kateDN, Roles: []string{"admin"},
+		NotBefore: time.Now().Add(-time.Minute), NotAfter: time.Now().Add(time.Hour),
+	}
+	if err := SignAssertion(a, vo); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "kate.assertion")
+	if err := SaveAssertion(a, path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadAssertion(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Signatures survive serialization byte-for-byte.
+	if err := VerifyAssertion(loaded, vo.Leaf(), kateDN, time.Now()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStoreLoadErrors(t *testing.T) {
+	dir := t.TempDir()
+	missing := filepath.Join(dir, "missing")
+	if _, err := LoadCredential(missing); err == nil {
+		t.Errorf("missing credential loaded")
+	}
+	if _, err := LoadCertificate(missing); err == nil {
+		t.Errorf("missing certificate loaded")
+	}
+	if _, err := LoadAssertion(missing); err == nil {
+		t.Errorf("missing assertion loaded")
+	}
+	garbage := filepath.Join(dir, "garbage")
+	if err := os.WriteFile(garbage, []byte("not json"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadCredential(garbage); err == nil {
+		t.Errorf("garbage credential loaded")
+	}
+	empty := filepath.Join(dir, "empty")
+	if err := os.WriteFile(empty, []byte(`{"chain":[]}`), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadCredential(empty); err == nil {
+		t.Errorf("chainless credential loaded")
+	}
+}

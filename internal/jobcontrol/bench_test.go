@@ -1,0 +1,32 @@
+package jobcontrol
+
+import (
+	"testing"
+	"time"
+)
+
+func BenchmarkSubmitAndComplete(b *testing.B) {
+	c := NewCluster(1 << 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Submit(JobSpec{Executable: "x", Count: 1, Duration: time.Minute}); err != nil {
+			b.Fatal(err)
+		}
+		if i%1024 == 1023 {
+			c.Advance(2 * time.Minute) // drain periodically
+		}
+	}
+}
+
+func BenchmarkAdvanceBusyCluster(b *testing.B) {
+	c := NewCluster(256)
+	for i := 0; i < 1024; i++ {
+		if _, err := c.Submit(JobSpec{Executable: "x", Count: 1, Duration: time.Hour}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Advance(time.Second)
+	}
+}

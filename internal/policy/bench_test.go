@@ -1,0 +1,61 @@
+package policy
+
+import "testing"
+
+// Engine micro-benchmarks complementing the repo-level P2 sweep.
+
+func benchPolicy(b *testing.B) *Policy {
+	b.Helper()
+	p, err := ParseString(fig3, "VO:NFC")
+	if err != nil {
+		b.Fatal(err)
+	}
+	return p
+}
+
+func BenchmarkParsePolicy(b *testing.B) {
+	b.SetBytes(int64(len(fig3)))
+	for i := 0; i < b.N; i++ {
+		if _, err := ParseString(fig3, "VO:NFC"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEvaluateGrant(b *testing.B) {
+	p := benchPolicy(b)
+	spec, err := parseBenchSpec(`&(executable=test1)(directory=/sandbox/test)(jobtag=ADS)(count=3)`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	req := &Request{Subject: bo, Action: ActionStart, Spec: spec}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !p.Evaluate(req).Allowed {
+			b.Fatal("denied")
+		}
+	}
+}
+
+func BenchmarkEvaluateIndexed(b *testing.B) {
+	p := benchPolicy(b)
+	idx := NewIndex(p)
+	spec, err := parseBenchSpec(`&(executable=test1)(directory=/sandbox/test)(jobtag=ADS)(count=3)`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	req := &Request{Subject: bo, Action: ActionStart, Spec: spec}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !idx.Evaluate(req).Allowed {
+			b.Fatal("denied")
+		}
+	}
+}
+
+func BenchmarkUnparse(b *testing.B) {
+	p := benchPolicy(b)
+	for i := 0; i < b.N; i++ {
+		_ = p.Unparse()
+	}
+}

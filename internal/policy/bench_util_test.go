@@ -1,0 +1,7 @@
+package policy
+
+import "gridauth/internal/rsl"
+
+func parseBenchSpec(text string) (*rsl.Spec, error) {
+	return rsl.ParseSpec(text)
+}

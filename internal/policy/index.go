@@ -1,0 +1,63 @@
+package policy
+
+import (
+	"gridauth/internal/gsi"
+)
+
+// Index accelerates statement lookup for large policies. The naive
+// ApplicableTo scans every statement and prefix-compares its subject; an
+// Index buckets statements by exact subject and keeps the (typically
+// few) group-prefix statements — those that are proper prefixes of some
+// member identity — in a separate list. For a policy with one statement
+// per user this turns evaluation from O(#statements) into O(#prefix
+// statements + 1). The DESIGN.md P2 benchmark quantifies the difference.
+//
+// The index is built once from a policy snapshot; rebuilding after policy
+// changes is the caller's business.
+type Index struct {
+	source  string
+	byExact map[gsi.DN][]*Statement
+	// prefixes holds statements that must be prefix-matched. Statement
+	// order across exact+prefix buckets is not preserved; evaluation
+	// semantics do not depend on statement order.
+	prefixes []*Statement
+}
+
+// NewIndex builds an index over the policy. A statement is treated as a
+// group prefix when its subject lacks a CN component (individual Grid
+// identities always carry one); statements with a CN are also
+// prefix-matched against proxy-extended names by the caller normalizing
+// identities first, which the GRAM layer already does.
+func NewIndex(p *Policy) *Index {
+	idx := &Index{
+		source:  p.Source,
+		byExact: make(map[gsi.DN][]*Statement, len(p.Statements)),
+	}
+	for _, st := range p.Statements {
+		if st.Subject.CN() == "" {
+			idx.prefixes = append(idx.prefixes, st)
+			continue
+		}
+		idx.byExact[st.Subject] = append(idx.byExact[st.Subject], st)
+	}
+	return idx
+}
+
+// ApplicableTo returns the statements applying to identity.
+func (x *Index) ApplicableTo(identity gsi.DN) []*Statement {
+	exact := x.byExact[identity]
+	out := make([]*Statement, 0, len(exact)+4)
+	out = append(out, exact...)
+	for _, st := range x.prefixes {
+		if identity.HasPrefix(st.Subject) {
+			out = append(out, st)
+		}
+	}
+	return out
+}
+
+// Evaluate decides a request using the index. It returns the same
+// decisions as Policy.Evaluate on the indexed policy.
+func (x *Index) Evaluate(req *Request) Decision {
+	return evaluateStatements(x.source, x.ApplicableTo(req.Subject), req)
+}

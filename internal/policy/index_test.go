@@ -1,0 +1,84 @@
+package policy
+
+import (
+	"testing"
+	"testing/quick"
+
+	"gridauth/internal/gsi"
+	"gridauth/internal/rsl"
+)
+
+func TestIndexMatchesLinearEvaluation(t *testing.T) {
+	p := fig3Policy(t)
+	idx := NewIndex(p)
+	reqs := []*Request{
+		{Subject: bo, Action: ActionStart,
+			Spec: spec(t, `&(executable=test1)(directory=/sandbox/test)(jobtag=ADS)(count=3)`)},
+		{Subject: bo, Action: ActionStart,
+			Spec: spec(t, `&(executable=test1)(directory=/sandbox/test)(count=3)`)},
+		{Subject: kate, Action: ActionCancel, JobOwner: bo,
+			Spec: spec(t, `&(executable=test2)(jobtag=NFC)`)},
+		{Subject: sam, Action: ActionStart,
+			Spec: spec(t, `&(executable=test1)(jobtag=ADS)`)},
+		{Subject: ext, Action: ActionSignal},
+	}
+	for i, req := range reqs {
+		lin := p.Evaluate(req)
+		ind := idx.Evaluate(req)
+		if lin.Allowed != ind.Allowed || lin.Applicable != ind.Applicable {
+			t.Errorf("request %d: linear (%v,%v) != indexed (%v,%v)",
+				i, lin.Allowed, lin.Applicable, ind.Allowed, ind.Applicable)
+		}
+	}
+}
+
+// Property: for randomly shaped requests, indexed and linear evaluation
+// agree on the fig3 policy plus a group requirement.
+func TestQuickIndexEquivalence(t *testing.T) {
+	p := fig3Policy(t)
+	idx := NewIndex(p)
+	subjects := []struct{ dn string }{
+		{string(bo)}, {string(kate)}, {string(sam)}, {string(ext)},
+	}
+	actions := []string{ActionStart, ActionCancel, ActionInformation, ActionSignal}
+	exes := []string{"test1", "test2", "TRANSP", "rm"}
+	tags := []string{"ADS", "NFC", ""}
+	f := func(s, a, e, tg, count uint8) bool {
+		sp := rsl.NewSpec().
+			Set("executable", exes[int(e)%len(exes)]).
+			Set("directory", "/sandbox/test").
+			Set("count", itoa(int(count)%6))
+		if tag := tags[int(tg)%len(tags)]; tag != "" {
+			sp.Set("jobtag", tag)
+		}
+		req := &Request{
+			Subject:  gsi.DN(subjects[int(s)%len(subjects)].dn),
+			Action:   actions[int(a)%len(actions)],
+			Spec:     sp,
+			JobOwner: bo,
+		}
+		lin := p.Evaluate(req)
+		ind := idx.Evaluate(req)
+		return lin.Allowed == ind.Allowed && lin.Applicable == ind.Applicable
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIndexApplicableToBucketsGroups(t *testing.T) {
+	p := fig3Policy(t)
+	idx := NewIndex(p)
+	// Bo gets the group requirement plus her own statement.
+	if got := len(idx.ApplicableTo(bo)); got != 2 {
+		t.Errorf("ApplicableTo(bo) = %d, want 2", got)
+	}
+	// Sam gets only the group requirement.
+	if got := len(idx.ApplicableTo(sam)); got != 1 {
+		t.Errorf("ApplicableTo(sam) = %d, want 1", got)
+	}
+	// Outsiders get nothing.
+	if got := len(idx.ApplicableTo(ext)); got != 0 {
+		t.Errorf("ApplicableTo(ext) = %d, want 0", got)
+	}
+}

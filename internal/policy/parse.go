@@ -1,0 +1,248 @@
+package policy
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"gridauth/internal/gsi"
+	"gridauth/internal/rsl"
+)
+
+// ParseError reports a malformed policy file.
+type ParseError struct {
+	Line int
+	Msg  string
+}
+
+// Error implements the error interface.
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("policy: line %d: %s", e.Line, e.Msg)
+}
+
+// Parse reads a policy in the paper's file format (Figure 3):
+//
+//	# comment
+//	/O=Grid/O=Globus/OU=mcs.anl.gov: &(action = start)(jobtag != NULL)
+//
+//	/O=Grid/.../CN=Bo Liu:
+//	  &(action = start)(executable = test1)(directory = /sandbox/test)(jobtag = ADS)(count<4)
+//	  &(action = start)(executable = test2)(directory = /sandbox/test)(jobtag = NFC)(count<4)
+//
+// A statement starts on a line containing "SUBJECT:"; subsequent lines
+// beginning with '&' or '(' continue the current statement. A leading '&'
+// before the subject (as rendered in the paper's figure) is accepted and
+// ignored. Within a statement, each '&'-introduced conjunction is one
+// assertion set; a bare parenthesized sequence forms a single implicit
+// set.
+func Parse(r io.Reader, source string) (*Policy, error) {
+	p := &Policy{Source: source}
+	var (
+		current *Statement
+		buf     strings.Builder // pending assertion text of current
+		curLine int
+	)
+	flush := func() error {
+		if current == nil {
+			return nil
+		}
+		sets, err := parseSets(buf.String())
+		if err != nil {
+			return &ParseError{Line: curLine, Msg: err.Error()}
+		}
+		if len(sets) == 0 {
+			return &ParseError{Line: curLine, Msg: fmt.Sprintf("statement for %q has no assertions", current.Subject)}
+		}
+		current.Sets = sets
+		p.Statements = append(p.Statements, current)
+		current = nil
+		buf.Reset()
+		return nil
+	}
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if i := strings.Index(line, "#"); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if subj, rest, ok := splitStatementHeader(line); ok {
+			if err := flush(); err != nil {
+				return nil, err
+			}
+			dn := gsi.DN(subj)
+			if !dn.Valid() {
+				return nil, &ParseError{Line: lineNo, Msg: fmt.Sprintf("invalid subject %q", subj)}
+			}
+			current = &Statement{Subject: dn}
+			curLine = lineNo
+			buf.WriteString(rest)
+			buf.WriteString(" ")
+			continue
+		}
+		if current == nil {
+			return nil, &ParseError{Line: lineNo, Msg: "assertion text before any statement subject"}
+		}
+		if line[0] != '&' && line[0] != '(' {
+			return nil, &ParseError{Line: lineNo, Msg: fmt.Sprintf("unexpected continuation %q", line)}
+		}
+		buf.WriteString(line)
+		buf.WriteString(" ")
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("policy: read: %w", err)
+	}
+	if err := flush(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// ParseString parses a policy from a string.
+func ParseString(s, source string) (*Policy, error) {
+	return Parse(strings.NewReader(s), source)
+}
+
+// MustParse parses a policy and panics on error. For tests and fixtures.
+func MustParse(s, source string) *Policy {
+	p, err := ParseString(s, source)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// splitStatementHeader recognizes "SUBJECT: rest". The subject must look
+// like a DN (start with '/' or '&/') and the colon must come before any
+// parenthesis, so relation text like "(action = start)" is never mistaken
+// for a header.
+func splitStatementHeader(line string) (subject, rest string, ok bool) {
+	trimmed := strings.TrimPrefix(line, "&")
+	trimmed = strings.TrimSpace(trimmed)
+	if !strings.HasPrefix(trimmed, "/") {
+		return "", "", false
+	}
+	colon := strings.Index(trimmed, ":")
+	if colon < 0 {
+		return "", "", false
+	}
+	if paren := strings.Index(trimmed, "("); paren >= 0 && paren < colon {
+		return "", "", false
+	}
+	return strings.TrimSpace(trimmed[:colon]), strings.TrimSpace(trimmed[colon+1:]), true
+}
+
+// parseSets splits assertion text into '&'-delimited conjunctions and
+// parses each as RSL.
+func parseSets(text string) ([]*AssertionSet, error) {
+	text = strings.TrimSpace(text)
+	if text == "" {
+		return nil, nil
+	}
+	chunks, err := splitTopLevel(text)
+	if err != nil {
+		return nil, err
+	}
+	sets := make([]*AssertionSet, 0, len(chunks))
+	for _, chunk := range chunks {
+		node, err := rsl.Parse("&" + chunk)
+		if err != nil {
+			return nil, fmt.Errorf("assertion set %q: %w", chunk, err)
+		}
+		set, err := setFromNode(node)
+		if err != nil {
+			return nil, fmt.Errorf("assertion set %q: %w", chunk, err)
+		}
+		sets = append(sets, set)
+	}
+	return sets, nil
+}
+
+// splitTopLevel splits "&(...)(...) &(...)" into chunks of parenthesized
+// relations, honoring nesting and quotes.
+func splitTopLevel(text string) ([]string, error) {
+	var (
+		chunks  []string
+		start   = -1
+		depth   = 0
+		inQuote byte
+	)
+	flush := func(end int) {
+		if start >= 0 {
+			c := strings.TrimSpace(text[start:end])
+			if c != "" {
+				chunks = append(chunks, c)
+			}
+		}
+	}
+	for i := 0; i < len(text); i++ {
+		c := text[i]
+		if inQuote != 0 {
+			if c == inQuote {
+				inQuote = 0
+			}
+			continue
+		}
+		switch c {
+		case '"', '\'':
+			inQuote = c
+		case '(':
+			if depth == 0 && start < 0 {
+				start = i
+			}
+			depth++
+		case ')':
+			depth--
+			if depth < 0 {
+				return nil, fmt.Errorf("unbalanced ')'")
+			}
+		case '&':
+			if depth == 0 {
+				flush(i)
+				start = -1
+			}
+		}
+	}
+	if depth != 0 || inQuote != 0 {
+		return nil, fmt.Errorf("unbalanced parentheses or quote")
+	}
+	flush(len(text))
+	return chunks, nil
+}
+
+// setFromNode flattens a parsed conjunction into an AssertionSet.
+func setFromNode(node rsl.Node) (*AssertionSet, error) {
+	set := &AssertionSet{}
+	var walk func(n rsl.Node) error
+	walk = func(n rsl.Node) error {
+		switch v := n.(type) {
+		case *rsl.Relation:
+			set.Clauses = append(set.Clauses, v)
+			return nil
+		case *rsl.Boolean:
+			if v.Op != rsl.And {
+				return fmt.Errorf("policy assertions must be conjunctions, found %q", v.Op)
+			}
+			for _, c := range v.Children {
+				if err := walk(c); err != nil {
+					return err
+				}
+			}
+			return nil
+		default:
+			return fmt.Errorf("unknown RSL node %T", n)
+		}
+	}
+	if err := walk(node); err != nil {
+		return nil, err
+	}
+	return set, nil
+}

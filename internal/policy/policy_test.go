@@ -1,0 +1,456 @@
+package policy
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"gridauth/internal/gsi"
+	"gridauth/internal/rsl"
+)
+
+// Figure 3 of the paper, with the figure's DN typos normalized
+// ("GlobusOU" -> "Globus/OU", spacing inside CNs). See EXPERIMENTS.md E3.
+const fig3 = `
+# Simple VO-wide policy for job management (Figure 3)
+/O=Grid/O=Globus/OU=mcs.anl.gov: &(action = start)(jobtag != NULL)
+
+/O=Grid/O=Globus/OU=mcs.anl.gov/CN=Bo Liu:
+  &(action = start)(executable = test1)(directory = /sandbox/test)(jobtag = ADS)(count<4)
+  &(action = start)(executable = test2)(directory = /sandbox/test)(jobtag = NFC)(count<4)
+
+/O=Grid/O=Globus/OU=mcs.anl.gov/CN=Kate Keahey:
+  &(action = start)(executable = TRANSP)(directory = /sandbox/test)(jobtag = NFC)
+  &(action=cancel)(jobtag=NFC)
+`
+
+const (
+	bo   = gsi.DN("/O=Grid/O=Globus/OU=mcs.anl.gov/CN=Bo Liu")
+	kate = gsi.DN("/O=Grid/O=Globus/OU=mcs.anl.gov/CN=Kate Keahey")
+	sam  = gsi.DN("/O=Grid/O=Globus/OU=mcs.anl.gov/CN=Sam Meder")
+	ext  = gsi.DN("/O=Grid/O=Other/CN=Outsider")
+)
+
+func fig3Policy(t *testing.T) *Policy {
+	t.Helper()
+	p, err := ParseString(fig3, "VO:NFC")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func spec(t *testing.T, in string) *rsl.Spec {
+	t.Helper()
+	s, err := rsl.ParseSpec(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestParseFig3Shape(t *testing.T) {
+	p := fig3Policy(t)
+	if len(p.Statements) != 3 {
+		t.Fatalf("statements = %d, want 3", len(p.Statements))
+	}
+	group := p.Statements[0]
+	if group.Subject != "/O=Grid/O=Globus/OU=mcs.anl.gov" {
+		t.Errorf("group subject = %s", group.Subject)
+	}
+	if len(group.Sets) != 1 || !group.Sets[0].IsRequirement() {
+		t.Errorf("group statement should be a single requirement set")
+	}
+	boSt := p.Statements[1]
+	if len(boSt.Sets) != 2 {
+		t.Fatalf("Bo Liu sets = %d, want 2", len(boSt.Sets))
+	}
+	for i, set := range boSt.Sets {
+		if set.IsRequirement() {
+			t.Errorf("Bo set %d should be a grant set", i)
+		}
+		acts := set.Actions()
+		if len(acts) != 1 || acts[0] != ActionStart {
+			t.Errorf("Bo set %d actions = %v", i, acts)
+		}
+	}
+	kateSt := p.Statements[2]
+	if len(kateSt.Sets) != 2 {
+		t.Fatalf("Kate sets = %d, want 2", len(kateSt.Sets))
+	}
+	if got := kateSt.Sets[1].Actions(); len(got) != 1 || got[0] != ActionCancel {
+		t.Errorf("Kate set 1 actions = %v", got)
+	}
+}
+
+// TestFig3Decisions walks the decision table narrated in §5.1 around
+// Figure 3.
+func TestFig3Decisions(t *testing.T) {
+	p := fig3Policy(t)
+	tests := []struct {
+		name  string
+		req   *Request
+		allow bool
+	}{
+		{
+			name: "bo starts test1 with ADS jobtag under count limit",
+			req: &Request{Subject: bo, Action: ActionStart,
+				Spec: spec(t, `&(executable=test1)(directory=/sandbox/test)(jobtag=ADS)(count=3)`)},
+			allow: true,
+		},
+		{
+			name: "bo starts test2 with NFC jobtag",
+			req: &Request{Subject: bo, Action: ActionStart,
+				Spec: spec(t, `&(executable=test2)(directory=/sandbox/test)(jobtag=NFC)(count=1)`)},
+			allow: true,
+		},
+		{
+			name: "bo exceeds processor count",
+			req: &Request{Subject: bo, Action: ActionStart,
+				Spec: spec(t, `&(executable=test1)(directory=/sandbox/test)(jobtag=ADS)(count=4)`)},
+			allow: false,
+		},
+		{
+			name: "bo starts unsanctioned executable",
+			req: &Request{Subject: bo, Action: ActionStart,
+				Spec: spec(t, `&(executable=test3)(directory=/sandbox/test)(jobtag=ADS)(count=1)`)},
+			allow: false,
+		},
+		{
+			name: "bo starts from wrong directory",
+			req: &Request{Subject: bo, Action: ActionStart,
+				Spec: spec(t, `&(executable=test1)(directory=/home/bliu)(jobtag=ADS)(count=1)`)},
+			allow: false,
+		},
+		{
+			name: "bo mixes executable and jobtag across sets",
+			req: &Request{Subject: bo, Action: ActionStart,
+				Spec: spec(t, `&(executable=test1)(directory=/sandbox/test)(jobtag=NFC)(count=1)`)},
+			allow: false,
+		},
+		{
+			name: "bo omits the jobtag the group requirement demands",
+			req: &Request{Subject: bo, Action: ActionStart,
+				Spec: spec(t, `&(executable=test1)(directory=/sandbox/test)(count=1)`)},
+			allow: false,
+		},
+		{
+			name: "kate starts TRANSP with any processor count",
+			req: &Request{Subject: kate, Action: ActionStart,
+				Spec: spec(t, `&(executable=TRANSP)(directory=/sandbox/test)(jobtag=NFC)(count=128)`)},
+			allow: true,
+		},
+		{
+			name: "kate cancels bo's NFC job (VO-wide management)",
+			req: &Request{Subject: kate, Action: ActionCancel, JobOwner: bo,
+				Spec: spec(t, `&(executable=test2)(directory=/sandbox/test)(jobtag=NFC)(count=1)`)},
+			allow: true,
+		},
+		{
+			name: "kate cannot cancel an ADS job",
+			req: &Request{Subject: kate, Action: ActionCancel, JobOwner: bo,
+				Spec: spec(t, `&(executable=test1)(directory=/sandbox/test)(jobtag=ADS)(count=1)`)},
+			allow: false,
+		},
+		{
+			name: "bo cannot cancel kate's job",
+			req: &Request{Subject: bo, Action: ActionCancel, JobOwner: kate,
+				Spec: spec(t, `&(executable=TRANSP)(directory=/sandbox/test)(jobtag=NFC)`)},
+			allow: false,
+		},
+		{
+			name: "group member without a grant is denied (default deny)",
+			req: &Request{Subject: sam, Action: ActionStart,
+				Spec: spec(t, `&(executable=test1)(directory=/sandbox/test)(jobtag=ADS)(count=1)`)},
+			allow: false,
+		},
+		{
+			name: "outsider is denied",
+			req: &Request{Subject: ext, Action: ActionStart,
+				Spec: spec(t, `&(executable=test1)(directory=/sandbox/test)(jobtag=ADS)(count=1)`)},
+			allow: false,
+		},
+		{
+			name: "kate queries information without a grant",
+			req: &Request{Subject: kate, Action: ActionInformation, JobOwner: bo,
+				Spec: spec(t, `&(executable=test2)(jobtag=NFC)`)},
+			allow: false,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			d := p.Evaluate(tt.req)
+			if d.Allowed != tt.allow {
+				t.Errorf("Allowed = %v, want %v (reason: %s)", d.Allowed, tt.allow, d.Reason)
+			}
+			if d.Allowed && d.GrantedBy == "" {
+				t.Errorf("permit without GrantedBy")
+			}
+			if !d.Allowed && d.Reason == "" {
+				t.Errorf("deny without Reason")
+			}
+			if d.Source != "VO:NFC" {
+				t.Errorf("Source = %q", d.Source)
+			}
+		})
+	}
+}
+
+func TestSelfValue(t *testing.T) {
+	// The stock GT2 rule "only the job initiator may manage a job" is
+	// expressible in the language via self.
+	p := MustParse(`
+/O=Grid: &(action = cancel information signal)(jobowner = self)
+`, "local")
+	ownJob := &Request{Subject: bo, Action: ActionCancel, JobOwner: bo}
+	if d := p.Evaluate(ownJob); !d.Allowed {
+		t.Errorf("self-cancel denied: %s", d.Reason)
+	}
+	othersJob := &Request{Subject: bo, Action: ActionCancel, JobOwner: kate}
+	if d := p.Evaluate(othersJob); d.Allowed {
+		t.Errorf("cancel of other's job allowed via self rule")
+	}
+	// Startup has JobOwner empty; jobowner resolves to the subject, so a
+	// self rule for start is a tautology but must not misfire.
+	start := &Request{Subject: bo, Action: ActionStart, Spec: rsl.NewSpec().Set("executable", "x")}
+	if d := p.Evaluate(start); d.Allowed {
+		t.Errorf("start allowed by management-only rule")
+	}
+}
+
+func TestRequiredAbsenceAndProhibitedValues(t *testing.T) {
+	// §5.1: "the job request must not specify a particular queue, which
+	// is reserved for ... certain users" and required absence via
+	// (attr = NULL).
+	p := MustParse(`
+/O=Grid/O=Globus/OU=mcs.anl.gov: &(action = start)(queue != fast)
+/O=Grid/O=Globus/OU=mcs.anl.gov/CN=Bo Liu: &(action = start)(executable = test1)(debug = NULL)
+`, "local")
+	ok := &Request{Subject: bo, Action: ActionStart, Spec: spec(t, `&(executable=test1)(queue=batch)`)}
+	if d := p.Evaluate(ok); !d.Allowed {
+		t.Errorf("allowed request denied: %s", d.Reason)
+	}
+	noQueue := &Request{Subject: bo, Action: ActionStart, Spec: spec(t, `&(executable=test1)`)}
+	if d := p.Evaluate(noQueue); !d.Allowed {
+		t.Errorf("queueless request denied: %s", d.Reason)
+	}
+	reserved := &Request{Subject: bo, Action: ActionStart, Spec: spec(t, `&(executable=test1)(queue=fast)`)}
+	if d := p.Evaluate(reserved); d.Allowed {
+		t.Errorf("reserved queue allowed")
+	}
+	withDebug := &Request{Subject: bo, Action: ActionStart, Spec: spec(t, `&(executable=test1)(debug=on)`)}
+	if d := p.Evaluate(withDebug); d.Allowed {
+		t.Errorf("(debug = NULL) did not forbid the attribute")
+	}
+}
+
+func TestMultiValuePermittedSet(t *testing.T) {
+	p := MustParse(`
+/O=Grid/O=Globus/OU=mcs.anl.gov/CN=Bo Liu: &(action = start)(executable = test1 test2)
+`, "local")
+	for _, exe := range []string{"test1", "test2"} {
+		req := &Request{Subject: bo, Action: ActionStart, Spec: rsl.NewSpec().Set("executable", exe)}
+		if d := p.Evaluate(req); !d.Allowed {
+			t.Errorf("executable %s denied: %s", exe, d.Reason)
+		}
+	}
+	req := &Request{Subject: bo, Action: ActionStart, Spec: rsl.NewSpec().Set("executable", "test3")}
+	if d := p.Evaluate(req); d.Allowed {
+		t.Errorf("executable outside the permitted set allowed")
+	}
+}
+
+func TestOrderingLimits(t *testing.T) {
+	p := MustParse(`
+/O=Grid: &(action = start)(executable = sim)(count<=8)(maxtime<60)
+`, "local")
+	tests := []struct {
+		rslIn string
+		allow bool
+	}{
+		{`&(executable=sim)(count=8)(maxtime=59)`, true},
+		{`&(executable=sim)(count=9)(maxtime=59)`, false},
+		{`&(executable=sim)(count=8)(maxtime=60)`, false},
+		{`&(executable=sim)`, true}, // absent attributes are unconstrained limits
+	}
+	for _, tt := range tests {
+		req := &Request{Subject: bo, Action: ActionStart, Spec: spec(t, tt.rslIn)}
+		if d := p.Evaluate(req); d.Allowed != tt.allow {
+			t.Errorf("%s: Allowed = %v, want %v (%s)", tt.rslIn, d.Allowed, tt.allow, d.Reason)
+		}
+	}
+}
+
+func TestRequirementAppliesAcrossStatements(t *testing.T) {
+	// A requirement from the group statement must constrain grants from
+	// other statements (Bo's grant alone would permit).
+	p := MustParse(`
+/O=Grid: &(action = start)(project != NULL)
+/O=Grid/O=Globus/OU=mcs.anl.gov/CN=Bo Liu: &(action = start)(executable = test1)
+`, "local")
+	without := &Request{Subject: bo, Action: ActionStart, Spec: spec(t, `&(executable=test1)`)}
+	if d := p.Evaluate(without); d.Allowed {
+		t.Errorf("requirement from group statement ignored")
+	} else if !strings.Contains(d.Reason, "requirement") {
+		t.Errorf("reason %q does not mention requirement", d.Reason)
+	}
+	with := &Request{Subject: bo, Action: ActionStart, Spec: spec(t, `&(executable=test1)(project=fusion)`)}
+	if d := p.Evaluate(with); !d.Allowed {
+		t.Errorf("satisfying request denied: %s", d.Reason)
+	}
+}
+
+func TestMergeAndApplicableTo(t *testing.T) {
+	vo := MustParse(`/O=Grid/O=Globus/OU=mcs.anl.gov/CN=Bo Liu: &(action = start)(executable = a)`, "VO")
+	local := MustParse(`/O=Grid: &(action = start)(queue != fast)`, "local")
+	merged := vo.Merge(local)
+	if len(merged.Statements) != 2 {
+		t.Fatalf("merged statements = %d", len(merged.Statements))
+	}
+	if got := len(merged.ApplicableTo(bo)); got != 2 {
+		t.Errorf("ApplicableTo(bo) = %d, want 2", got)
+	}
+	if got := len(merged.ApplicableTo(ext)); got != 1 {
+		t.Errorf("ApplicableTo(ext) = %d, want 1 (the /O=Grid prefix)", got)
+	}
+}
+
+func TestUnparseRoundTrip(t *testing.T) {
+	p := fig3Policy(t)
+	text := p.Unparse()
+	p2, err := ParseString(text, p.Source)
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, text)
+	}
+	if len(p2.Statements) != len(p.Statements) {
+		t.Fatalf("round trip lost statements")
+	}
+	// Decisions must be identical after a round trip.
+	req := &Request{Subject: bo, Action: ActionStart,
+		Spec: spec(t, `&(executable=test1)(directory=/sandbox/test)(jobtag=ADS)(count=3)`)}
+	if p.Evaluate(req).Allowed != p2.Evaluate(req).Allowed {
+		t.Errorf("round trip changed decision")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		`(action = start)`,                                // assertions before subject
+		`not-a-dn: &(action = start)(a = b)`,              // invalid subject
+		`/O=Grid:`,                                        // no assertions
+		`/O=Grid: &(action = start(`,                      // unbalanced
+		`/O=Grid: &(|(a=1)(b=2))`,                         // disjunction not allowed
+		"/O=Grid: &(action = start)(a = b)\nrandom words", // bad continuation
+	}
+	for _, in := range bad {
+		if _, err := ParseString(in, "t"); err == nil {
+			t.Errorf("ParseString(%q): expected error", in)
+		}
+	}
+}
+
+func TestCommentsAndBlankLines(t *testing.T) {
+	p := MustParse(`
+# leading comment
+/O=Grid: &(action = start)(executable = a) # trailing comment
+
+# another
+`, "t")
+	if len(p.Statements) != 1 {
+		t.Fatalf("statements = %d", len(p.Statements))
+	}
+}
+
+func TestApplicableFlag(t *testing.T) {
+	p := fig3Policy(t)
+	// Grant set applied but unsatisfied: applicable.
+	d := p.Evaluate(&Request{Subject: bo, Action: ActionStart,
+		Spec: spec(t, `&(executable=test3)(directory=/sandbox/test)(jobtag=ADS)(count=1)`)})
+	if d.Allowed || !d.Applicable {
+		t.Errorf("unsatisfied grant: Allowed=%v Applicable=%v", d.Allowed, d.Applicable)
+	}
+	// No statement at all for the subject: not applicable.
+	d = p.Evaluate(&Request{Subject: ext, Action: ActionStart,
+		Spec: spec(t, `&(executable=test1)(jobtag=ADS)`)})
+	if d.Allowed || d.Applicable {
+		t.Errorf("foreign subject: Allowed=%v Applicable=%v", d.Allowed, d.Applicable)
+	}
+	// Requirement violated (no grant in sight): applicable — the policy
+	// objects.
+	reqOnly := MustParse(`/O=Grid: &(action = start)(jobtag != NULL)`, "t")
+	d = reqOnly.Evaluate(&Request{Subject: bo, Action: ActionStart, Spec: spec(t, `&(executable=a)`)})
+	if d.Allowed || !d.Applicable {
+		t.Errorf("violated requirement: Allowed=%v Applicable=%v", d.Allowed, d.Applicable)
+	}
+	// Requirement satisfied, nothing granting: abstention.
+	d = reqOnly.Evaluate(&Request{Subject: bo, Action: ActionStart, Spec: spec(t, `&(executable=a)(jobtag=x)`)})
+	if d.Allowed || d.Applicable {
+		t.Errorf("satisfied requirement only: Allowed=%v Applicable=%v", d.Allowed, d.Applicable)
+	}
+}
+
+func TestEvaluateNilSpec(t *testing.T) {
+	// Management requests may carry no job description; clauses over job
+	// attributes must fail closed for equality, stay open for limits.
+	p := MustParse(`/O=Grid: &(action = cancel)(jobtag = NFC)`, "t")
+	req := &Request{Subject: bo, Action: ActionCancel, JobOwner: kate}
+	if d := p.Evaluate(req); d.Allowed {
+		t.Errorf("nil spec satisfied (jobtag = NFC)")
+	}
+}
+
+// Property: the default-deny axiom — a policy with no statements for the
+// subject's identity never permits anything.
+func TestQuickDefaultDeny(t *testing.T) {
+	p := fig3Policy(t)
+	f := func(user uint16, action uint8, exe uint8) bool {
+		subject := gsi.DN("/O=Unrelated/CN=user" + string(rune('a'+user%26)))
+		actions := []string{ActionStart, ActionCancel, ActionInformation, ActionSignal}
+		req := &Request{
+			Subject: subject,
+			Action:  actions[int(action)%len(actions)],
+			Spec:    rsl.NewSpec().Set("executable", "exe"+string(rune('a'+exe%26))).Set("jobtag", "NFC"),
+		}
+		return !p.Evaluate(req).Allowed
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: adding a grant statement never turns a previously permitted
+// request into a denial unless it introduces a requirement (monotonicity
+// of grants).
+func TestQuickGrantMonotonic(t *testing.T) {
+	base := fig3Policy(t)
+	extra := MustParse(`/O=Grid/O=Globus/OU=mcs.anl.gov/CN=Bo Liu: &(action = start)(executable = extra)`, "VO:NFC")
+	merged := base.Merge(extra)
+	f := func(count uint8, tag uint8) bool {
+		tags := []string{"ADS", "NFC", "OTHER"}
+		req := &Request{Subject: bo, Action: ActionStart,
+			Spec: rsl.NewSpec().
+				Set("executable", "test1").
+				Set("directory", "/sandbox/test").
+				Set("jobtag", tags[int(tag)%len(tags)]).
+				Set("count", itoa(int(count)%6)),
+		}
+		before := base.Evaluate(req).Allowed
+		after := merged.Evaluate(req).Allowed
+		return !before || after
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b []byte
+	for n > 0 {
+		b = append([]byte{byte('0' + n%10)}, b...)
+		n /= 10
+	}
+	return string(b)
+}

@@ -1,0 +1,189 @@
+package policy
+
+// §6.3 of the paper reports that the RSL-based syntax "is not a standard
+// policy language ... We are therefore investigating existing policy
+// languages as a replacement", naming XACML as the leading candidate.
+// This file implements that future-work direction: a lossless bridge
+// between the native language and an XACML-flavoured XML document
+// (simplified — real XACML 1.0 carries much more machinery than the
+// paper's policies use: one <Policy> per statement, one <Rule> per
+// assertion set, subjects matched by DN prefix, and RSL relations carried
+// as attribute Match elements).
+//
+// ExportXACML and ImportXACML round-trip: decisions over the imported
+// policy equal decisions over the original (tested by property in
+// xacml_test.go).
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"strings"
+
+	"gridauth/internal/gsi"
+	"gridauth/internal/rsl"
+)
+
+// xacmlPolicySet is the document root.
+type xacmlPolicySet struct {
+	XMLName  xml.Name      `xml:"PolicySet"`
+	ID       string        `xml:"PolicySetId,attr"`
+	Combine  string        `xml:"PolicyCombiningAlgId,attr"`
+	Policies []xacmlPolicy `xml:"Policy"`
+}
+
+type xacmlPolicy struct {
+	ID      string      `xml:"PolicyId,attr"`
+	Subject string      `xml:"Target>Subjects>Subject>SubjectMatch>AttributeValue"`
+	Rules   []xacmlRule `xml:"Rule"`
+}
+
+type xacmlRule struct {
+	ID      string       `xml:"RuleId,attr"`
+	Effect  string       `xml:"Effect,attr"`
+	Matches []xacmlMatch `xml:"Condition>Apply"`
+}
+
+type xacmlMatch struct {
+	// FunctionId encodes the RSL relation operator.
+	FunctionID string   `xml:"FunctionId,attr"`
+	Attribute  string   `xml:"AttributeDesignator"`
+	Values     []string `xml:"AttributeValue"`
+}
+
+const (
+	xacmlNSPrefix = "urn:gridauth:rsl-op:"
+	xacmlCombine  = "urn:gridauth:combining:paper-grant-requirement"
+)
+
+func opToFunction(op rsl.Op) string {
+	return xacmlNSPrefix + map[rsl.Op]string{
+		rsl.OpEq:  "eq",
+		rsl.OpNeq: "neq",
+		rsl.OpLt:  "lt",
+		rsl.OpLe:  "le",
+		rsl.OpGt:  "gt",
+		rsl.OpGe:  "ge",
+	}[op]
+}
+
+func functionToOp(fn string) (rsl.Op, error) {
+	suffix := strings.TrimPrefix(fn, xacmlNSPrefix)
+	switch suffix {
+	case "eq":
+		return rsl.OpEq, nil
+	case "neq":
+		return rsl.OpNeq, nil
+	case "lt":
+		return rsl.OpLt, nil
+	case "le":
+		return rsl.OpLe, nil
+	case "gt":
+		return rsl.OpGt, nil
+	case "ge":
+		return rsl.OpGe, nil
+	default:
+		return 0, fmt.Errorf("policy: unknown XACML function %q", fn)
+	}
+}
+
+// ExportXACML renders the policy as an XACML-flavoured document.
+func ExportXACML(p *Policy, w io.Writer) error {
+	doc := xacmlPolicySet{
+		ID:      p.Source,
+		Combine: xacmlCombine,
+	}
+	for si, st := range p.Statements {
+		xp := xacmlPolicy{
+			ID:      fmt.Sprintf("statement-%d", si),
+			Subject: string(st.Subject),
+		}
+		for ri, set := range st.Sets {
+			effect := "Permit"
+			if set.IsRequirement() {
+				effect = "Obligation" // requirement sets constrain, not grant
+			}
+			rule := xacmlRule{
+				ID:     fmt.Sprintf("set-%d", ri),
+				Effect: effect,
+			}
+			for _, c := range set.Clauses {
+				m := xacmlMatch{
+					FunctionID: opToFunction(c.Op),
+					Attribute:  c.Attribute,
+				}
+				for _, v := range c.Values {
+					if v.IsVariable() {
+						return fmt.Errorf("policy: cannot export variable reference $(%s)", v.Variable)
+					}
+					m.Values = append(m.Values, v.Literal)
+				}
+				rule.Matches = append(rule.Matches, m)
+			}
+			xp.Rules = append(xp.Rules, rule)
+		}
+		doc.Policies = append(doc.Policies, xp)
+	}
+	enc := xml.NewEncoder(w)
+	enc.Indent("", "  ")
+	if err := enc.Encode(&doc); err != nil {
+		return fmt.Errorf("policy: encode XACML: %w", err)
+	}
+	return enc.Close()
+}
+
+// ImportXACML parses a document produced by ExportXACML back into a
+// native policy.
+func ImportXACML(r io.Reader) (*Policy, error) {
+	var doc xacmlPolicySet
+	if err := xml.NewDecoder(r).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("policy: decode XACML: %w", err)
+	}
+	if doc.Combine != xacmlCombine {
+		return nil, fmt.Errorf("policy: unsupported combining algorithm %q", doc.Combine)
+	}
+	p := &Policy{Source: doc.ID}
+	for _, xp := range doc.Policies {
+		subject := gsi.DN(xp.Subject)
+		if !subject.Valid() {
+			return nil, fmt.Errorf("policy: invalid subject %q", xp.Subject)
+		}
+		st := &Statement{Subject: subject}
+		for _, rule := range xp.Rules {
+			if rule.Effect != "Permit" && rule.Effect != "Obligation" {
+				return nil, fmt.Errorf("policy: unsupported rule effect %q", rule.Effect)
+			}
+			set := &AssertionSet{}
+			for _, m := range rule.Matches {
+				op, err := functionToOp(m.FunctionID)
+				if err != nil {
+					return nil, err
+				}
+				if len(m.Values) == 0 {
+					return nil, fmt.Errorf("policy: match on %q has no values", m.Attribute)
+				}
+				rel := &rsl.Relation{Attribute: strings.ToLower(m.Attribute), Op: op}
+				for _, v := range m.Values {
+					rel.Values = append(rel.Values, rsl.Lit(v))
+				}
+				set.Clauses = append(set.Clauses, rel)
+			}
+			if len(set.Clauses) == 0 {
+				return nil, fmt.Errorf("policy: rule %s has no matches", rule.ID)
+			}
+			// Sanity: the declared effect must agree with the set's
+			// computed classification, or decisions would silently
+			// change.
+			isReq := set.IsRequirement()
+			if isReq != (rule.Effect == "Obligation") {
+				return nil, fmt.Errorf("policy: rule %s effect %q conflicts with clause classification", rule.ID, rule.Effect)
+			}
+			st.Sets = append(st.Sets, set)
+		}
+		if len(st.Sets) == 0 {
+			return nil, fmt.Errorf("policy: statement for %q has no rules", xp.Subject)
+		}
+		p.Statements = append(p.Statements, st)
+	}
+	return p, nil
+}

@@ -1,0 +1,132 @@
+package policy
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"gridauth/internal/gsi"
+	"gridauth/internal/rsl"
+)
+
+func exportImport(t *testing.T, p *Policy) *Policy {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := ExportXACML(p, &buf); err != nil {
+		t.Fatal(err)
+	}
+	p2, err := ImportXACML(&buf)
+	if err != nil {
+		t.Fatalf("import: %v\n%s", err, buf.String())
+	}
+	return p2
+}
+
+func TestXACMLRoundTripShape(t *testing.T) {
+	p := fig3Policy(t)
+	p2 := exportImport(t, p)
+	if p2.Source != p.Source {
+		t.Errorf("source = %q", p2.Source)
+	}
+	if len(p2.Statements) != len(p.Statements) {
+		t.Fatalf("statements = %d, want %d", len(p2.Statements), len(p.Statements))
+	}
+	for i := range p.Statements {
+		if p.Statements[i].Subject != p2.Statements[i].Subject {
+			t.Errorf("statement %d subject changed", i)
+		}
+		if len(p.Statements[i].Sets) != len(p2.Statements[i].Sets) {
+			t.Errorf("statement %d sets changed", i)
+		}
+	}
+}
+
+func TestXACMLDocumentLooksLikeXACML(t *testing.T) {
+	p := fig3Policy(t)
+	var buf bytes.Buffer
+	if err := ExportXACML(p, &buf); err != nil {
+		t.Fatal(err)
+	}
+	doc := buf.String()
+	for _, want := range []string{"<PolicySet", "PolicyCombiningAlgId", "<Rule", `Effect="Permit"`, `Effect="Obligation"`, "AttributeDesignator"} {
+		if !strings.Contains(doc, want) {
+			t.Errorf("document lacks %q:\n%s", want, doc)
+		}
+	}
+}
+
+// Property: decisions over the imported policy equal decisions over the
+// original for a grid of requests.
+func TestQuickXACMLDecisionEquivalence(t *testing.T) {
+	p := fig3Policy(t)
+	p2 := exportImport(t, p)
+	subjects := []string{string(bo), string(kate), string(sam), string(ext)}
+	actions := []string{ActionStart, ActionCancel, ActionInformation}
+	exes := []string{"test1", "test2", "TRANSP", "rm"}
+	tags := []string{"ADS", "NFC", ""}
+	f := func(s, a, e, tg, count uint8) bool {
+		sp := rsl.NewSpec().
+			Set("executable", exes[int(e)%len(exes)]).
+			Set("directory", "/sandbox/test").
+			Set("count", itoa(int(count)%6))
+		if tag := tags[int(tg)%len(tags)]; tag != "" {
+			sp.Set("jobtag", tag)
+		}
+		req := &Request{
+			Subject:  gsi.DN(subjects[int(s)%len(subjects)]),
+			Action:   actions[int(a)%len(actions)],
+			Spec:     sp,
+			JobOwner: bo,
+		}
+		d1 := p.Evaluate(req)
+		d2 := p2.Evaluate(req)
+		return d1.Allowed == d2.Allowed && d1.Applicable == d2.Applicable
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestXACMLImportErrors(t *testing.T) {
+	bad := []string{
+		`not xml`,
+		`<PolicySet PolicySetId="x" PolicyCombiningAlgId="urn:other"/>`,
+		`<PolicySet PolicySetId="x" PolicyCombiningAlgId="urn:gridauth:combining:paper-grant-requirement">
+		  <Policy PolicyId="p"><Target><Subjects><Subject><SubjectMatch><AttributeValue>not-a-dn</AttributeValue></SubjectMatch></Subject></Subjects></Target>
+		    <Rule RuleId="r" Effect="Permit"><Condition><Apply FunctionId="urn:gridauth:rsl-op:eq"><AttributeDesignator>executable</AttributeDesignator><AttributeValue>a</AttributeValue></Apply></Condition></Rule>
+		  </Policy></PolicySet>`,
+		`<PolicySet PolicySetId="x" PolicyCombiningAlgId="urn:gridauth:combining:paper-grant-requirement">
+		  <Policy PolicyId="p"><Target><Subjects><Subject><SubjectMatch><AttributeValue>/O=Grid</AttributeValue></SubjectMatch></Subject></Subjects></Target>
+		    <Rule RuleId="r" Effect="Deny"><Condition><Apply FunctionId="urn:gridauth:rsl-op:eq"><AttributeDesignator>executable</AttributeDesignator><AttributeValue>a</AttributeValue></Apply></Condition></Rule>
+		  </Policy></PolicySet>`,
+		`<PolicySet PolicySetId="x" PolicyCombiningAlgId="urn:gridauth:combining:paper-grant-requirement">
+		  <Policy PolicyId="p"><Target><Subjects><Subject><SubjectMatch><AttributeValue>/O=Grid</AttributeValue></SubjectMatch></Subject></Subjects></Target>
+		    <Rule RuleId="r" Effect="Permit"><Condition><Apply FunctionId="urn:wrong:fn"><AttributeDesignator>executable</AttributeDesignator><AttributeValue>a</AttributeValue></Apply></Condition></Rule>
+		  </Policy></PolicySet>`,
+		// Effect disagreeing with the clause classification (Obligation
+		// on a granting clause).
+		`<PolicySet PolicySetId="x" PolicyCombiningAlgId="urn:gridauth:combining:paper-grant-requirement">
+		  <Policy PolicyId="p"><Target><Subjects><Subject><SubjectMatch><AttributeValue>/O=Grid</AttributeValue></SubjectMatch></Subject></Subjects></Target>
+		    <Rule RuleId="r" Effect="Obligation"><Condition><Apply FunctionId="urn:gridauth:rsl-op:eq"><AttributeDesignator>executable</AttributeDesignator><AttributeValue>a</AttributeValue></Apply></Condition></Rule>
+		  </Policy></PolicySet>`,
+	}
+	for i, doc := range bad {
+		if _, err := ImportXACML(strings.NewReader(doc)); err == nil {
+			t.Errorf("document %d accepted", i)
+		}
+	}
+}
+
+func TestXACMLExportRejectsVariables(t *testing.T) {
+	p := &Policy{Source: "t", Statements: []*Statement{{
+		Subject: "/O=Grid",
+		Sets: []*AssertionSet{{Clauses: []*rsl.Relation{{
+			Attribute: "stdout", Op: rsl.OpEq, Values: []rsl.Value{rsl.Var("HOME")},
+		}}}},
+	}}}
+	var buf bytes.Buffer
+	if err := ExportXACML(p, &buf); err == nil {
+		t.Errorf("variable reference exported")
+	}
+}

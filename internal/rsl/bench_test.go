@@ -1,0 +1,44 @@
+package rsl
+
+import "testing"
+
+// Parsing and canonicalization micro-benchmarks (the repo-level P3 sweep
+// measures scaling; these pin the common cases).
+
+const benchJob = `&(executable=TRANSP)(directory="/sandbox/services")(count=16)(maxtime=120)(jobtag=NFC)(arguments=shot 104329 "run B")`
+
+func BenchmarkParse(b *testing.B) {
+	b.SetBytes(int64(len(benchJob)))
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(benchJob); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkParseSpec(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := ParseSpec(benchJob); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSpecUnparse(b *testing.B) {
+	spec, err := ParseSpec(benchJob)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = spec.Unparse()
+	}
+}
+
+func BenchmarkCompareNumeric(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if !Compare("15", OpLt, "16") {
+			b.Fatal("wrong")
+		}
+	}
+}

@@ -1,0 +1,139 @@
+package sandbox
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"gridauth/internal/jobcontrol"
+)
+
+func TestCPULimitKillsJob(t *testing.T) {
+	c := jobcontrol.NewCluster(4)
+	m := NewMonitor(c, true)
+	j, err := c.Submit(jobcontrol.JobSpec{Executable: "hog", Count: 2, Duration: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Policy admitted the job, but its runtime consumption is capped at
+	// 600 cpu-seconds: 2 cpus hit that after 5 minutes.
+	m.Attach(j.ID, Limits{MaxCPUSeconds: 600})
+	c.Advance(4 * time.Minute)
+	if vs := m.Poll(); len(vs) != 0 {
+		t.Fatalf("early violation: %v", vs)
+	}
+	c.Advance(2 * time.Minute)
+	vs := m.Poll()
+	if len(vs) != 1 || vs[0].Resource != "cpu-seconds" {
+		t.Fatalf("violations = %v", vs)
+	}
+	got, _ := c.Lookup(j.ID)
+	if got.State != jobcontrol.StateCanceled {
+		t.Errorf("state = %s, want canceled", got.State)
+	}
+	if !strings.Contains(got.Detail, "sandbox") {
+		t.Errorf("detail = %q", got.Detail)
+	}
+}
+
+func TestAuditModeReportsWithoutKilling(t *testing.T) {
+	c := jobcontrol.NewCluster(1)
+	m := NewMonitor(c, false)
+	j, err := c.Submit(jobcontrol.JobSpec{Executable: "hog", Duration: time.Hour, MemoryMB: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Attach(j.ID, Limits{MaxMemoryMB: 1024})
+	c.Advance(time.Minute)
+	vs := m.Poll()
+	if len(vs) != 1 || vs[0].Resource != "memory-mb" {
+		t.Fatalf("violations = %v", vs)
+	}
+	got, _ := c.Lookup(j.ID)
+	if got.State != jobcontrol.StateRunning {
+		t.Errorf("audit mode killed the job: %s", got.State)
+	}
+	if len(m.Violations()) != 1 {
+		t.Errorf("violation not recorded")
+	}
+}
+
+func TestDiskAndRuntimeLimits(t *testing.T) {
+	c := jobcontrol.NewCluster(2)
+	m := NewMonitor(c, true)
+	disk, err := c.Submit(jobcontrol.JobSpec{Executable: "d", Duration: time.Hour, DiskMB: 900})
+	if err != nil {
+		t.Fatal(err)
+	}
+	long, err := c.Submit(jobcontrol.JobSpec{Executable: "l", Duration: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Attach(disk.ID, Limits{MaxDiskMB: 500})
+	m.Attach(long.ID, Limits{MaxRuntime: 10 * time.Minute})
+	c.Advance(time.Minute)
+	vs := m.Poll()
+	if len(vs) != 1 || vs[0].JobID != disk.ID || vs[0].Resource != "disk-mb" {
+		t.Fatalf("violations after 1m = %v", vs)
+	}
+	c.Advance(10 * time.Minute)
+	vs = m.Poll()
+	if len(vs) != 1 || vs[0].JobID != long.ID || vs[0].Resource != "runtime-seconds" {
+		t.Fatalf("violations after 11m = %v", vs)
+	}
+	if v := vs[0].String(); !strings.Contains(v, "runtime") {
+		t.Errorf("String = %q", v)
+	}
+}
+
+func TestWithinLimitsJobCompletes(t *testing.T) {
+	c := jobcontrol.NewCluster(1)
+	m := NewMonitor(c, true)
+	j, err := c.Submit(jobcontrol.JobSpec{Executable: "ok", Duration: 5 * time.Minute, MemoryMB: 100, DiskMB: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Attach(j.ID, Limits{MaxCPUSeconds: 600, MaxMemoryMB: 1024, MaxDiskMB: 500, MaxRuntime: time.Hour})
+	for i := 0; i < 6; i++ {
+		c.Advance(time.Minute)
+		if vs := m.Poll(); len(vs) != 0 {
+			t.Fatalf("unexpected violation: %v", vs)
+		}
+	}
+	got, _ := c.Lookup(j.ID)
+	if got.State != jobcontrol.StateCompleted {
+		t.Errorf("state = %s", got.State)
+	}
+}
+
+func TestTerminalJobDetaches(t *testing.T) {
+	c := jobcontrol.NewCluster(1)
+	m := NewMonitor(c, true)
+	j, err := c.Submit(jobcontrol.JobSpec{Executable: "x", Duration: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Attach(j.ID, Limits{MaxCPUSeconds: 1})
+	c.Advance(2 * time.Minute) // completes before the poll
+	if vs := m.Poll(); len(vs) != 0 {
+		// Completed jobs are no longer supervised; the usage already
+		// happened and the job is gone.
+		t.Logf("post-completion violations tolerated but unexpected: %v", vs)
+	}
+	m.Detach(j.ID) // idempotent
+}
+
+func TestDetachStopsEnforcement(t *testing.T) {
+	c := jobcontrol.NewCluster(1)
+	m := NewMonitor(c, true)
+	j, err := c.Submit(jobcontrol.JobSpec{Executable: "x", Duration: time.Hour, MemoryMB: 9999})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Attach(j.ID, Limits{MaxMemoryMB: 1})
+	m.Detach(j.ID)
+	c.Advance(time.Minute)
+	if vs := m.Poll(); len(vs) != 0 {
+		t.Errorf("detached job policed: %v", vs)
+	}
+}

@@ -1,0 +1,7 @@
+package workload
+
+import "gridauth/internal/rsl"
+
+func parseSpec(text string) (*rsl.Spec, error) {
+	return rsl.ParseSpec(text)
+}

@@ -1,0 +1,213 @@
+// Package workload generates the synthetic users, policies, job
+// descriptions and request streams that drive the examples, experiments
+// and benchmarks. Every generator is seeded and deterministic.
+//
+// Two families are provided: the National Fusion Collaboratory scenario
+// from §2 of the paper (developer and analysis groups, sanctioned
+// application services, admin preemption) and parameterized synthetic
+// sweeps for the scaling benchmarks (P1-P4 in DESIGN.md).
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"gridauth/internal/gsi"
+	"gridauth/internal/policy"
+	"gridauth/internal/rsl"
+)
+
+// NFC scenario constants.
+const (
+	// OrgPrefix is the DN prefix shared by all NFC members.
+	OrgPrefix = "/O=Grid/O=Globus/OU=mcs.anl.gov"
+	// ServiceDir is where sanctioned services live.
+	ServiceDir = "/sandbox/services"
+)
+
+// User is a generated grid user.
+type User struct {
+	DN   gsi.DN
+	Role string // "developer", "analyst" or "admin"
+}
+
+// NFCUsers generates nDev developers, nAna analysts and nAdm admins with
+// deterministic DNs.
+func NFCUsers(nDev, nAna, nAdm int) []User {
+	users := make([]User, 0, nDev+nAna+nAdm)
+	for i := 0; i < nDev; i++ {
+		users = append(users, User{
+			DN:   gsi.DN(fmt.Sprintf("%s/CN=Developer %03d", OrgPrefix, i)),
+			Role: "developer",
+		})
+	}
+	for i := 0; i < nAna; i++ {
+		users = append(users, User{
+			DN:   gsi.DN(fmt.Sprintf("%s/CN=Analyst %03d", OrgPrefix, i)),
+			Role: "analyst",
+		})
+	}
+	for i := 0; i < nAdm; i++ {
+		users = append(users, User{
+			DN:   gsi.DN(fmt.Sprintf("%s/CN=Admin %03d", OrgPrefix, i)),
+			Role: "admin",
+		})
+	}
+	return users
+}
+
+// NFCPolicy renders the scenario policy for the given users: the VO-wide
+// jobtag requirement, developer limits, analyst service grants,
+// admin management rights over the NFC and ADS jobtag groups, and
+// self-management for everyone.
+func NFCPolicy(users []User) (*policy.Policy, error) {
+	var sb strings.Builder
+	sb.WriteString(OrgPrefix + ": &(action = start)(jobtag != NULL)\n")
+	for _, u := range users {
+		var sets []string
+		switch u.Role {
+		case "developer":
+			sets = append(sets,
+				"&(action = start)(executable = gcc gdb make test1 test2)(jobtag = ADS)(count<=2)(maxtime<=30)")
+		case "analyst":
+			sets = append(sets,
+				fmt.Sprintf("&(action = start)(executable = TRANSP EFIT)(directory = %s)(jobtag = NFC)", ServiceDir))
+		case "admin":
+			sets = append(sets,
+				fmt.Sprintf("&(action = start)(executable = TRANSP EFIT)(directory = %s)(jobtag = NFC)", ServiceDir),
+				"&(action = cancel information signal)(jobtag = NFC ADS)")
+		}
+		sets = append(sets, "&(action = cancel information signal)(jobowner = self)")
+		fmt.Fprintf(&sb, "%s: %s\n", u.DN, strings.Join(sets, " "))
+	}
+	return policy.ParseString(sb.String(), "VO:NFC")
+}
+
+// NFCLocalPolicy is the resource owner's policy in the scenario: no
+// reserved queue, every request must name an executable, and a site-wide
+// processor ceiling.
+func NFCLocalPolicy() (*policy.Policy, error) {
+	const text = `
+/O=Grid: &(action = start)(queue != fast)
+/O=Grid: &(action = start)(executable != NULL)(count<=64)
+/O=Grid: &(action = cancel information signal)(executable != NULL)
+`
+	return policy.ParseString(text, "local")
+}
+
+// JobFor generates a role-appropriate job description. conforming=false
+// produces a request that violates the role's policy in a random way.
+func JobFor(u User, rng *rand.Rand, conforming bool) *rsl.Spec {
+	spec := rsl.NewSpec()
+	switch u.Role {
+	case "developer":
+		exes := []string{"gcc", "gdb", "make", "test1", "test2"}
+		spec.Set("executable", exes[rng.Intn(len(exes))])
+		spec.Set("jobtag", "ADS")
+		spec.Set("count", itoa(1+rng.Intn(2)))
+		spec.Set("maxtime", itoa(5+rng.Intn(25)))
+	default: // analyst, admin
+		exes := []string{"TRANSP", "EFIT"}
+		spec.Set("executable", exes[rng.Intn(len(exes))])
+		spec.Set("directory", ServiceDir)
+		spec.Set("jobtag", "NFC")
+		spec.Set("count", itoa(1+rng.Intn(32)))
+	}
+	if !conforming {
+		switch rng.Intn(4) {
+		case 0:
+			spec.Set("executable", "arbitrary-binary")
+		case 1:
+			spec.Delete("jobtag")
+		case 2:
+			spec.Set("count", "999")
+		case 3:
+			spec.Set("queue", "fast")
+		}
+	}
+	return spec
+}
+
+// Request is a generated authorization request with its expected policy
+// subject.
+type Request struct {
+	Subject gsi.DN
+	Action  string
+	Spec    *rsl.Spec
+	Owner   gsi.DN
+}
+
+// RequestStream generates n policy requests: a mix of starts (80%) and
+// management actions (20%), with conformFraction of the starts
+// policy-conforming.
+func RequestStream(users []User, n int, seed int64, conformFraction float64) []Request {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]Request, 0, n)
+	for i := 0; i < n; i++ {
+		u := users[rng.Intn(len(users))]
+		if rng.Float64() < 0.8 {
+			conforming := rng.Float64() < conformFraction
+			out = append(out, Request{
+				Subject: u.DN,
+				Action:  policy.ActionStart,
+				Spec:    JobFor(u, rng, conforming),
+			})
+			continue
+		}
+		owner := users[rng.Intn(len(users))]
+		actions := []string{policy.ActionCancel, policy.ActionInformation, policy.ActionSignal}
+		out = append(out, Request{
+			Subject: u.DN,
+			Action:  actions[rng.Intn(len(actions))],
+			Spec:    JobFor(owner, rng, true),
+			Owner:   owner.DN,
+		})
+	}
+	return out
+}
+
+// SyntheticPolicy builds a policy with nStatements statements, each
+// holding setsPerStatement grant sets of clausesPerSet clauses, spread
+// over the given users round-robin. It drives the P2 scaling sweeps.
+func SyntheticPolicy(users []User, nStatements, setsPerStatement, clausesPerSet int) (*policy.Policy, error) {
+	var sb strings.Builder
+	for i := 0; i < nStatements; i++ {
+		u := users[i%len(users)]
+		var sets []string
+		for s := 0; s < setsPerStatement; s++ {
+			var clauses []string
+			clauses = append(clauses, "(action = start)")
+			clauses = append(clauses, fmt.Sprintf("(executable = exe%d-%d)", i, s))
+			for c := 2; c < clausesPerSet; c++ {
+				clauses = append(clauses, fmt.Sprintf("(attr%d = v%d)", c, c))
+			}
+			sets = append(sets, "&"+strings.Join(clauses, ""))
+		}
+		fmt.Fprintf(&sb, "%s: %s\n", u.DN, strings.Join(sets, " "))
+	}
+	return policy.ParseString(sb.String(), "synthetic")
+}
+
+// SyntheticRSL builds a job description with nAttrs attributes, for the
+// P3 parse-throughput sweep.
+func SyntheticRSL(nAttrs int) string {
+	var sb strings.Builder
+	sb.WriteString("&(executable=/bin/app)")
+	for i := 1; i < nAttrs; i++ {
+		fmt.Fprintf(&sb, "(attr%03d=value-%d)", i, i)
+	}
+	return sb.String()
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b []byte
+	for n > 0 {
+		b = append([]byte{byte('0' + n%10)}, b...)
+		n /= 10
+	}
+	return string(b)
+}
