@@ -515,6 +515,145 @@ func BenchmarkP5_GRAMEndToEnd(b *testing.B) {
 	}
 }
 
+// latencyPDP wraps a PDP with a fixed evaluation delay, modelling the
+// remote round trip of a networked PDP (an Akenti server, a CAS query)
+// that the in-process backends do not pay.
+type latencyPDP struct {
+	inner core.PDP
+	delay time.Duration
+}
+
+func (p *latencyPDP) Name() string { return p.inner.Name() }
+func (p *latencyPDP) Authorize(req *core.Request) core.Decision {
+	time.Sleep(p.delay)
+	return p.inner.Authorize(req)
+}
+
+// BenchmarkP5_ParallelPDP compares sequential and parallel evaluation
+// of a 4-PDP chain whose members each carry a simulated 200µs callout
+// latency (the regime the parallel combiner exists for). The sequential
+// chain pays the SUM of the latencies, the parallel chain roughly the
+// MAX; the acceptance bar for this PR is >=2x at 4 PDPs.
+func BenchmarkP5_ParallelPDP(b *testing.B) {
+	users := workload.NFCUsers(1, 1, 1)
+	voPol, err := workload.NFCPolicy(users)
+	if err != nil {
+		b.Fatal(err)
+	}
+	local, err := workload.NFCLocalPolicy()
+	if err != nil {
+		b.Fatal(err)
+	}
+	req := &core.Request{
+		Subject: users[1].DN,
+		Action:  policy.ActionStart,
+		Spec:    mustBenchSpec(b, benchAnalystJob),
+	}
+	const delay = 200 * time.Microsecond
+	for _, n := range []int{2, 4, 8} {
+		pdps := make([]core.PDP, n)
+		for i := range pdps {
+			pol := voPol
+			if i%2 == 1 {
+				pol = local
+			}
+			pdps[i] = &latencyPDP{inner: &core.PolicyPDP{Policy: pol}, delay: delay}
+		}
+		b.Run(fmt.Sprintf("sequential/pdps=%d", n), func(b *testing.B) {
+			chain := core.NewCombined(core.RequireAllPermit, pdps...)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if d := chain.Authorize(req); d.Effect != core.Permit {
+					b.Fatal(d.Reason)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("parallel/pdps=%d", n), func(b *testing.B) {
+			chain := core.NewParallelCombined(core.RequireAllPermit, pdps...)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if d := chain.Authorize(req); d.Effect != core.Permit {
+					b.Fatal(d.Reason)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkP6_DecisionCache measures the sharded decision cache on
+// repeated identical requests dispatched through the registry: the
+// uncached series re-evaluates the VO+local chain every time, the
+// cached series serves digests-matched hits. The acceptance bar is
+// >=10x on the in-process chain; with a simulated 200µs remote PDP the
+// gap is larger still.
+func BenchmarkP6_DecisionCache(b *testing.B) {
+	users := workload.NFCUsers(1, 1, 1)
+	voPol, err := workload.NFCPolicy(users)
+	if err != nil {
+		b.Fatal(err)
+	}
+	local, err := workload.NFCLocalPolicy()
+	if err != nil {
+		b.Fatal(err)
+	}
+	req := &core.Request{
+		Subject: users[1].DN,
+		Action:  policy.ActionStart,
+		Spec:    mustBenchSpec(b, benchAnalystJob),
+	}
+	// A production-size VO policy: the real grants plus 1000 synthetic
+	// statements for other users (same shape as P1/P2).
+	filler, err := workload.SyntheticPolicy(workload.NFCUsers(0, 0, 50), 1000, 2, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	bigPol := voPol.Merge(filler)
+	newReg := func(cache bool, big bool, remoteDelay time.Duration) *core.Registry {
+		reg := core.NewRegistry()
+		pol := voPol
+		if big {
+			pol = bigPol
+		}
+		var vo core.PDP = &core.PolicyPDP{Policy: pol}
+		if remoteDelay > 0 {
+			vo = &latencyPDP{inner: vo, delay: remoteDelay}
+		}
+		reg.Bind(core.CalloutJobManager, vo)
+		reg.Bind(core.CalloutJobManager, &core.PolicyPDP{Policy: local})
+		if cache {
+			reg.SetCalloutOptions(core.CalloutJobManager, core.CalloutOptions{
+				Cache: true, CacheTTL: time.Hour,
+			})
+		}
+		return reg
+	}
+	run := func(b *testing.B, reg *core.Registry) {
+		b.Helper()
+		for i := 0; i < b.N; i++ {
+			if d := reg.Invoke(core.CalloutJobManager, req); d.Effect != core.Permit {
+				b.Fatal(d.Reason)
+			}
+		}
+	}
+	b.Run("uncached", func(b *testing.B) { run(b, newReg(false, false, 0)) })
+	b.Run("cached", func(b *testing.B) { run(b, newReg(true, false, 0)) })
+	b.Run("uncached-rules=1000", func(b *testing.B) { run(b, newReg(false, true, 0)) })
+	b.Run("cached-rules=1000", func(b *testing.B) { run(b, newReg(true, true, 0)) })
+	b.Run("uncached-remote", func(b *testing.B) { run(b, newReg(false, false, 200*time.Microsecond)) })
+	b.Run("cached-remote", func(b *testing.B) { run(b, newReg(true, false, 200*time.Microsecond)) })
+	b.Run("cached-parallel-clients", func(b *testing.B) {
+		reg := newReg(true, false, 0)
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				if d := reg.Invoke(core.CalloutJobManager, req); d.Effect != core.Permit {
+					b.Error(d.Reason)
+					return
+				}
+			}
+		})
+	})
+}
+
 // BenchmarkAblation_CombineModes compares decision-combination
 // algorithms over the same two-source (VO + local) configuration — the
 // ablation DESIGN.md calls out for the paper's require-all rule.

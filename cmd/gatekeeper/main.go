@@ -58,6 +58,10 @@ func run(args []string) error {
 	cpus := fs.Int("cpus", 16, "cluster CPU count")
 	dynamic := fs.Bool("dynamic-accounts", false, "lease dynamic accounts for unmapped users")
 	tick := fs.Duration("tick", time.Second, "virtual-clock advance per wall-clock second")
+	authzParallel := fs.Bool("authz-parallel", false, "evaluate callout PDP chains concurrently")
+	authzCache := fs.Bool("authz-cache", false, "cache callout decisions (sharded TTL decision cache)")
+	authzCacheTTL := fs.Duration("authz-cache-ttl", 5*time.Second, "decision cache entry lifetime")
+	authzCacheShards := fs.Int("authz-cache-shards", 16, "decision cache shard count")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -127,6 +131,28 @@ func run(args []string) error {
 		}
 		if !reg.Configured(core.CalloutJobManager) && !reg.Configured(core.CalloutGatekeeper) {
 			return fmt.Errorf("callout mode needs -vo-policy, -local-policy or -callout-config")
+		}
+		// Flag-level tuning; a -callout-config "options" line can set the
+		// same knobs per callout type and takes effect above.
+		if *authzParallel || *authzCache {
+			o := core.CalloutOptions{
+				Parallel:    *authzParallel,
+				Cache:       *authzCache,
+				CacheTTL:    *authzCacheTTL,
+				CacheShards: *authzCacheShards,
+			}
+			for _, t := range []string{core.CalloutJobManager, core.CalloutGatekeeper} {
+				merged := reg.Options(t)
+				merged.Parallel = merged.Parallel || o.Parallel
+				merged.Cache = merged.Cache || o.Cache
+				if merged.CacheTTL == 0 {
+					merged.CacheTTL = o.CacheTTL
+				}
+				if merged.CacheShards == 0 {
+					merged.CacheShards = o.CacheShards
+				}
+				reg.SetCalloutOptions(t, merged)
+			}
 		}
 	}
 	gkPlacement := gram.PlacementJM

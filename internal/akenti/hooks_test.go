@@ -1,0 +1,47 @@
+package akenti
+
+import (
+	"testing"
+	"time"
+
+	"gridauth/internal/policy"
+)
+
+// TestOnChangeFires verifies every certificate-store mutation notifies
+// subscribers: a decision cache wired to the engine must never serve a
+// permit computed before a new use condition or attribute arrived.
+func TestOnChangeFires(t *testing.T) {
+	f := newFixture(t)
+	fired := 0
+	f.engine.OnChange(func() { fired++ })
+
+	f.engine.TrustStakeholder(f.ownCred.Leaf())
+	if fired != 1 {
+		t.Fatalf("TrustStakeholder: hook fired %d times, want 1", fired)
+	}
+	f.engine.TrustAttributeIssuer(f.ownCred.Leaf())
+	if fired != 2 {
+		t.Fatalf("TrustAttributeIssuer: hook fired %d times, want 2", fired)
+	}
+	f.addCondition(t, f.voCred, &UseCondition{
+		Actions:      []string{policy.ActionStart},
+		Requirements: []Requirement{{Attribute: "role", Value: "analyst"}},
+	})
+	if fired != 3 {
+		t.Fatalf("AddUseCondition: hook fired %d times, want 3", fired)
+	}
+	f.grantAttr(t, kate, "role", "analyst")
+	if fired != 4 {
+		t.Fatalf("StoreAttribute: hook fired %d times, want 4", fired)
+	}
+
+	// Rejected certificates mutate nothing and must not notify.
+	bad := &UseCondition{Resource: resource, Actions: []string{policy.ActionStart},
+		NotBefore: time.Now().Add(-time.Minute), NotAfter: time.Now().Add(time.Hour)}
+	if err := f.engine.AddUseCondition(bad); err == nil {
+		t.Fatal("unsigned use condition accepted")
+	}
+	if fired != 4 {
+		t.Errorf("rejected use condition fired hooks (fired = %d)", fired)
+	}
+}

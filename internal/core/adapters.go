@@ -23,7 +23,13 @@ func (p *PolicyPDP) Name() string { return "policy:" + p.Policy.Source }
 
 // Authorize implements PDP.
 func (p *PolicyPDP) Authorize(req *Request) Decision {
-	d := p.Policy.Evaluate(&policy.Request{
+	return evaluatePolicy(p.Name(), p.Policy, req)
+}
+
+// evaluatePolicy runs one policy over a request and maps the engine's
+// ternary outcome onto decision effects.
+func evaluatePolicy(name string, pol *policy.Policy, req *Request) Decision {
+	d := pol.Evaluate(&policy.Request{
 		Subject:  req.Subject,
 		Action:   req.Action,
 		JobOwner: req.JobOwner,
@@ -31,16 +37,37 @@ func (p *PolicyPDP) Authorize(req *Request) Decision {
 	})
 	switch {
 	case d.Allowed:
-		return PermitDecision(p.Name(), d.Reason)
+		return PermitDecision(name, d.Reason)
 	case d.Applicable:
-		return DenyDecision(p.Name(), d.Reason)
+		return DenyDecision(name, d.Reason)
 	default:
 		// The policy neither grants nor objects: abstain, so a
 		// restrictions-only source (e.g. the resource owner's "(queue !=
 		// fast)" rule) does not veto requests the VO granted. Overall
 		// default-deny is preserved by the combiner.
-		return AbstainDecision(p.Name(), d.Reason)
+		return AbstainDecision(name, d.Reason)
 	}
+}
+
+// StorePDP adapts a policy.Store — a mutable holder of the current
+// policy of one administrative source — to the PDP interface. Use it
+// instead of PolicyPDP when the policy can change at runtime; wire the
+// store's OnChange hook to Registry.InvalidateCaches so decision caches
+// never serve permits from before an update.
+type StorePDP struct {
+	// Store holds the current policy.
+	Store *policy.Store
+}
+
+var _ PDP = (*StorePDP)(nil)
+
+// Name implements PDP.
+func (p *StorePDP) Name() string { return "policy-store:" + p.Store.Source() }
+
+// Authorize implements PDP: it evaluates against the policy current at
+// call time.
+func (p *StorePDP) Authorize(req *Request) Decision {
+	return evaluatePolicy(p.Name(), p.Store.Current(), req)
 }
 
 // SelfOnlyPDP reproduces the stock GT2 job-management rule: "the Grid

@@ -2,11 +2,14 @@ package core
 
 import (
 	"bufio"
+	"context"
 	"fmt"
 	"io"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
+	"time"
 )
 
 // Well-known abstract callout types, mirroring the callout points the
@@ -20,6 +23,15 @@ const (
 	// alternate PEP placement discussed in §6.2).
 	CalloutGatekeeper = "globus_gatekeeper_authz"
 )
+
+// OptionsDirective is the reserved word that, in a callout
+// configuration line's driver position, tunes how a callout type is
+// EVALUATED rather than binding a PDP:
+//
+//	globus_gram_jobmanager_authz options mode=parallel cache=on cache-ttl=5s cache-shards=32
+//
+// It cannot be registered as a driver name.
+const OptionsDirective = "options"
 
 // Driver creates a PDP from configuration parameters. Drivers stand in
 // for the dynamic libraries the C prototype loaded with dlopen.
@@ -36,14 +48,43 @@ func (e *ConfigError) Error() string {
 	return fmt.Sprintf("callout config: line %d: %s", e.Line, e.Msg)
 }
 
+// CalloutOptions tunes how one callout type's PDP chain is evaluated.
+// The zero value is the paper's prototype behaviour: sequential
+// evaluation, no memoization.
+type CalloutOptions struct {
+	// Parallel fans the chain's PDPs out across goroutines
+	// (ParallelCombined) instead of evaluating them one after another.
+	// Decision semantics are unchanged.
+	Parallel bool
+	// Cache memoizes Permit/Deny decisions in a sharded TTL cache keyed
+	// on the request's canonical digest. Enable only for side-effect
+	// free chains (see CachedPDP).
+	Cache bool
+	// CacheTTL bounds entry lifetime (default 5s).
+	CacheTTL time.Duration
+	// CacheShards is the shard count (default 16, rounded to a power of
+	// two).
+	CacheShards int
+}
+
 // Registry maps abstract callout types to configured PDP chains, and
 // driver names to factories. It is the Go analogue of the prototype's
 // "runtime configurable callouts": configuration happens "either through
 // a configuration file or an API call".
+//
+// The registry PREBUILDS each callout type's evaluation chain (the
+// combiner, optionally parallel, optionally wrapped in a decision
+// cache) whenever its configuration changes. Dispatch therefore only
+// reads one pointer under the read lock and evaluates entirely outside
+// it: a slow PDP can never block Bind, RegisterDriver or any other
+// configuration call, and dispatch allocates nothing per request.
 type Registry struct {
 	mu       sync.RWMutex
 	drivers  map[string]Driver
 	callouts map[string][]PDP
+	opts     map[string]CalloutOptions
+	caches   map[string]*DecisionCache
+	chains   map[string]PDP
 	mode     CombineMode
 }
 
@@ -53,6 +94,9 @@ func NewRegistry() *Registry {
 	return &Registry{
 		drivers:  make(map[string]Driver),
 		callouts: make(map[string][]PDP),
+		opts:     make(map[string]CalloutOptions),
+		caches:   make(map[string]*DecisionCache),
+		chains:   make(map[string]PDP),
 		mode:     RequireAllPermit,
 	}
 }
@@ -63,10 +107,14 @@ func (r *Registry) SetMode(mode CombineMode) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.mode = mode
+	for t := range r.callouts {
+		r.rebuildLocked(t)
+	}
 }
 
 // RegisterDriver installs a driver under a name, replacing any previous
-// registration.
+// registration. The name "options" is reserved for the configuration
+// directive and is never dispatched to.
 func (r *Registry) RegisterDriver(name string, d Driver) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -91,6 +139,7 @@ func (r *Registry) Bind(calloutType string, pdp PDP) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.callouts[calloutType] = append(r.callouts[calloutType], pdp)
+	r.rebuildLocked(calloutType)
 }
 
 // Unbind removes every PDP configured for the callout type.
@@ -98,6 +147,7 @@ func (r *Registry) Unbind(calloutType string) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	delete(r.callouts, calloutType)
+	r.rebuildLocked(calloutType)
 }
 
 // Configured reports whether any PDP is bound to the callout type.
@@ -105,6 +155,132 @@ func (r *Registry) Configured(calloutType string) bool {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	return len(r.callouts[calloutType]) > 0
+}
+
+// SetCalloutOptions replaces the evaluation options of a callout type
+// and rebuilds its chain. Enabling the cache creates it; re-applying
+// options recreates it (and thus drops every entry).
+func (r *Registry) SetCalloutOptions(calloutType string, o CalloutOptions) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.opts[calloutType] = o
+	if o.Cache {
+		r.caches[calloutType] = NewDecisionCache(CacheConfig{TTL: o.CacheTTL, Shards: o.CacheShards})
+	} else {
+		delete(r.caches, calloutType)
+	}
+	r.rebuildLocked(calloutType)
+}
+
+// Options returns the evaluation options of a callout type.
+func (r *Registry) Options(calloutType string) CalloutOptions {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.opts[calloutType]
+}
+
+// InvalidateCaches bumps the policy epoch of every decision cache in
+// the registry. Policy mutation points (policy.Store updates, VO
+// membership changes, Akenti certificate stores) call this — usually
+// via an OnChange hook — so no stale permit survives a policy change.
+func (r *Registry) InvalidateCaches() {
+	r.mu.RLock()
+	caches := make([]*DecisionCache, 0, len(r.caches))
+	for _, c := range r.caches {
+		caches = append(caches, c)
+	}
+	r.mu.RUnlock()
+	for _, c := range caches {
+		c.Invalidate()
+	}
+}
+
+// CacheStats returns a snapshot of each cached callout type's counters.
+func (r *Registry) CacheStats() map[string]CacheStats {
+	r.mu.RLock()
+	caches := make(map[string]*DecisionCache, len(r.caches))
+	for t, c := range r.caches {
+		caches[t] = c
+	}
+	r.mu.RUnlock()
+	out := make(map[string]CacheStats, len(caches))
+	for t, c := range caches {
+		out[t] = c.Stats()
+	}
+	return out
+}
+
+// rebuildLocked recomputes the prebuilt evaluation chain of a callout
+// type. Callers hold r.mu. Existing caches are invalidated (not
+// dropped): a Bind/Unbind/SetMode changes what decisions mean, so
+// entries from before the change must never be served.
+func (r *Registry) rebuildLocked(calloutType string) {
+	pdps := r.callouts[calloutType]
+	if len(pdps) == 0 {
+		delete(r.chains, calloutType)
+		return
+	}
+	o := r.opts[calloutType]
+	var chain PDP
+	if o.Parallel {
+		chain = NewParallelCombined(r.mode, pdps...)
+	} else {
+		chain = NewCombined(r.mode, pdps...)
+	}
+	if o.Cache {
+		cache := r.caches[calloutType]
+		if cache == nil {
+			cache = NewDecisionCache(CacheConfig{TTL: o.CacheTTL, Shards: o.CacheShards})
+			r.caches[calloutType] = cache
+		} else {
+			cache.Invalidate()
+		}
+		chain = &CachedPDP{Inner: chain, Cache: cache, Scope: calloutType}
+	}
+	r.chains[calloutType] = chain
+}
+
+// parseCalloutOptions applies key=value pairs from an "options"
+// configuration line on top of existing options.
+func parseCalloutOptions(base CalloutOptions, params map[string]string) (CalloutOptions, error) {
+	o := base
+	for k, v := range params {
+		switch k {
+		case "mode":
+			switch v {
+			case "parallel":
+				o.Parallel = true
+			case "sequential":
+				o.Parallel = false
+			default:
+				return o, fmt.Errorf("mode must be parallel or sequential, got %q", v)
+			}
+		case "cache":
+			switch v {
+			case "on":
+				o.Cache = true
+			case "off":
+				o.Cache = false
+			default:
+				return o, fmt.Errorf("cache must be on or off, got %q", v)
+			}
+		case "cache-ttl":
+			d, err := time.ParseDuration(v)
+			if err != nil || d <= 0 {
+				return o, fmt.Errorf("cache-ttl must be a positive duration, got %q", v)
+			}
+			o.CacheTTL = d
+		case "cache-shards":
+			n, err := strconv.Atoi(v)
+			if err != nil || n <= 0 {
+				return o, fmt.Errorf("cache-shards must be a positive integer, got %q", v)
+			}
+			o.CacheShards = n
+		default:
+			return o, fmt.Errorf("unknown option %q (want mode, cache, cache-ttl, cache-shards)", k)
+		}
+	}
+	return o, nil
 }
 
 // LoadConfig reads a callout configuration file. Each non-comment line
@@ -117,6 +293,11 @@ func (r *Registry) Configured(calloutType string) bool {
 // callout in the library": here the driver name plays the library+symbol
 // role and key=value pairs carry driver parameters (policy file paths,
 // source labels, ...).
+//
+// The reserved driver word "options" instead tunes evaluation of the
+// callout type (see CalloutOptions):
+//
+//	globus_gram_jobmanager_authz options mode=parallel cache=on cache-ttl=5s
 func (r *Registry) LoadConfig(rd io.Reader) error {
 	sc := bufio.NewScanner(rd)
 	lineNo := 0
@@ -138,6 +319,14 @@ func (r *Registry) LoadConfig(rd io.Reader) error {
 				return &ConfigError{Line: lineNo, Msg: fmt.Sprintf("malformed parameter %q", kv)}
 			}
 			params[k] = v
+		}
+		if driverName == OptionsDirective {
+			o, err := parseCalloutOptions(r.Options(calloutType), params)
+			if err != nil {
+				return &ConfigError{Line: lineNo, Msg: err.Error()}
+			}
+			r.SetCalloutOptions(calloutType, o)
+			continue
 		}
 		r.mu.RLock()
 		driver, ok := r.drivers[driverName]
@@ -168,21 +357,46 @@ func (r *Registry) LoadConfigString(s string) error {
 // because an enforcement point whose callout is missing must fail closed
 // loudly, not silently permit.
 func (r *Registry) Invoke(calloutType string, req *Request) Decision {
+	return r.InvokeContext(context.Background(), calloutType, req)
+}
+
+// InvokeContext is Invoke with a caller-supplied context: the PEP's
+// per-request context reaches every context-aware PDP in the chain, so
+// an abandoned request (client gone, deadline passed) can stop paying
+// for policy evaluation. The prebuilt chain pointer is read under the
+// lock; evaluation runs entirely outside it, so configuration calls are
+// never blocked by a slow PDP. A chain is an immutable snapshot:
+// concurrent Bind/Unbind affect the next dispatch, not in-flight ones.
+func (r *Registry) InvokeContext(ctx context.Context, calloutType string, req *Request) Decision {
 	r.mu.RLock()
-	pdps := append([]PDP(nil), r.callouts[calloutType]...)
-	mode := r.mode
+	chain := r.chains[calloutType]
 	r.mu.RUnlock()
-	if len(pdps) == 0 {
+	if chain == nil {
 		return ErrorDecision("callout:"+calloutType, "no authorization callout configured")
 	}
-	return NewCombined(mode, pdps...).Authorize(req)
+	return AuthorizeWithContext(ctx, chain, req)
 }
 
 // PDP returns the combined PDP bound to a callout type, for callers that
-// want to hold a decision point rather than dispatch by name.
+// want to hold a decision point rather than dispatch by name. The
+// returned PDP is context-aware.
 func (r *Registry) PDP(calloutType string) PDP {
-	return PDPFunc{
-		ID: "callout:" + calloutType,
-		Fn: func(req *Request) Decision { return r.Invoke(calloutType, req) },
-	}
+	return &registryPDP{r: r, calloutType: calloutType}
+}
+
+type registryPDP struct {
+	r           *Registry
+	calloutType string
+}
+
+var _ ContextPDP = (*registryPDP)(nil)
+
+func (p *registryPDP) Name() string { return "callout:" + p.calloutType }
+
+func (p *registryPDP) Authorize(req *Request) Decision {
+	return p.r.Invoke(p.calloutType, req)
+}
+
+func (p *registryPDP) AuthorizeContext(ctx context.Context, req *Request) Decision {
+	return p.r.InvokeContext(ctx, p.calloutType, req)
 }

@@ -212,10 +212,27 @@ func (c *Combined) Name() string {
 
 // Authorize implements PDP.
 func (c *Combined) Authorize(req *Request) Decision {
-	if len(c.pdps) == 0 {
-		return DenyDecision(c.Name(), "no policy decision points configured (default deny)")
+	return combineDecisions(c.mode, c.Name, len(c.pdps), func(i int) Decision {
+		return c.pdps[i].Authorize(req)
+	})
+}
+
+// combineDecisions resolves the combined decision of n children under a
+// combination mode. Child decisions are obtained through get, strictly in
+// configuration order, and get is not called for children the resolution
+// no longer needs (early exit). Both Combined and ParallelCombined
+// resolve through this single function, which is what makes the parallel
+// combiner equivalent to the sequential one by construction: the only
+// difference between them is whether get(i) computes the decision on the
+// spot or waits for a goroutine that is already computing it.
+//
+// name is called lazily because building a combined name walks all
+// children; decisions attributed to a single child never pay for it.
+func combineDecisions(mode CombineMode, name func() string, n int, get func(int) Decision) Decision {
+	if n == 0 {
+		return DenyDecision(name(), "no policy decision points configured (default deny)")
 	}
-	switch c.mode {
+	switch mode {
 	case RequireAllPermit:
 		// The paper's rule: every source must accept the request (no
 		// denials), and at least one must positively grant it; sources
@@ -224,8 +241,8 @@ func (c *Combined) Authorize(req *Request) Decision {
 			reasons []string
 			permits int
 		)
-		for _, p := range c.pdps {
-			d := p.Authorize(req)
+		for i := 0; i < n; i++ {
+			d := get(i)
 			switch d.Effect {
 			case Error:
 				return d
@@ -239,13 +256,13 @@ func (c *Combined) Authorize(req *Request) Decision {
 			}
 		}
 		if permits == 0 {
-			return DenyDecision(c.Name(), "no policy source grants the request (default deny)")
+			return DenyDecision(name(), "no policy source grants the request (default deny)")
 		}
-		return PermitDecision(c.Name(), strings.Join(reasons, "; "))
+		return PermitDecision(name(), strings.Join(reasons, "; "))
 	case DenyOverrides:
 		var permit *Decision
-		for _, p := range c.pdps {
-			d := p.Authorize(req)
+		for i := 0; i < n; i++ {
+			d := get(i)
 			switch d.Effect {
 			case Error:
 				return d
@@ -261,11 +278,11 @@ func (c *Combined) Authorize(req *Request) Decision {
 		if permit != nil {
 			return *permit
 		}
-		return DenyDecision(c.Name(), "no permit")
+		return DenyDecision(name(), "no permit")
 	case PermitOverrides:
 		var firstDeny *Decision
-		for _, p := range c.pdps {
-			d := p.Authorize(req)
+		for i := 0; i < n; i++ {
+			d := get(i)
 			switch d.Effect {
 			case Permit:
 				return d
@@ -279,17 +296,17 @@ func (c *Combined) Authorize(req *Request) Decision {
 		if firstDeny != nil {
 			return *firstDeny
 		}
-		return DenyDecision(c.Name(), "no permit")
+		return DenyDecision(name(), "no permit")
 	case FirstApplicable:
-		for _, p := range c.pdps {
-			d := p.Authorize(req)
+		for i := 0; i < n; i++ {
+			d := get(i)
 			if d.Effect == Permit || d.Effect == Deny {
 				return d
 			}
 		}
-		return DenyDecision(c.Name(), "no applicable decision")
+		return DenyDecision(name(), "no applicable decision")
 	default:
-		return ErrorDecision(c.Name(), "unknown combination mode")
+		return ErrorDecision(name(), "unknown combination mode")
 	}
 }
 

@@ -1,0 +1,100 @@
+package core
+
+import (
+	"context"
+	"strings"
+)
+
+// ContextPDP is a PDP that can observe cancellation. The parallel
+// combiner cancels the evaluation context as soon as the combined
+// decision is determined, so a context-aware PDP representing an
+// expensive remote callout (Akenti, CAS) can abandon work whose result
+// can no longer matter. Implementing it is optional: plain PDPs are
+// simply run to completion and their late results discarded.
+type ContextPDP interface {
+	PDP
+	// AuthorizeContext decides the request, honouring ctx cancellation.
+	// A PDP that aborts on cancellation should return an Error decision
+	// (authorization system failure), never a Permit.
+	AuthorizeContext(ctx context.Context, req *Request) Decision
+}
+
+// AuthorizeWithContext dispatches to AuthorizeContext when the PDP
+// supports it and to Authorize otherwise.
+func AuthorizeWithContext(ctx context.Context, p PDP, req *Request) Decision {
+	if cp, ok := p.(ContextPDP); ok {
+		return cp.AuthorizeContext(ctx, req)
+	}
+	return p.Authorize(req)
+}
+
+// ParallelCombined is a PDP that merges the decisions of several PDPs
+// like Combined, but evaluates the children concurrently: one goroutine
+// per child, with the results consumed strictly in configuration order
+// by the same resolution logic Combined uses. Consuming in order makes
+// the combined decision identical to sequential combination for
+// deterministic children — including which child's deny or error is
+// reported — while the wall-clock cost drops from the SUM of the
+// children's latencies to (roughly) the MAX over the prefix that
+// determines the outcome. Under RequireAllPermit with all children
+// permitting, that is the latency of the slowest child.
+//
+// Early exit: the moment the resolver returns (e.g. first deny under
+// RequireAllPermit, first permit under PermitOverrides), the evaluation
+// context is cancelled so ContextPDP children still running can abort.
+type ParallelCombined struct {
+	mode CombineMode
+	pdps []PDP
+}
+
+// NewParallelCombined builds a concurrent combining PDP. With no
+// children it denies everything (default deny), like NewCombined.
+func NewParallelCombined(mode CombineMode, pdps ...PDP) *ParallelCombined {
+	return &ParallelCombined{mode: mode, pdps: append([]PDP(nil), pdps...)}
+}
+
+var _ ContextPDP = (*ParallelCombined)(nil)
+
+// Name implements PDP.
+func (c *ParallelCombined) Name() string {
+	names := make([]string, len(c.pdps))
+	for i, p := range c.pdps {
+		names[i] = p.Name()
+	}
+	return "parallel-" + c.mode.String() + "(" + strings.Join(names, ",") + ")"
+}
+
+// Authorize implements PDP.
+func (c *ParallelCombined) Authorize(req *Request) Decision {
+	return c.AuthorizeContext(context.Background(), req)
+}
+
+// AuthorizeContext implements ContextPDP: it fans the children out and
+// resolves their decisions in configuration order.
+func (c *ParallelCombined) AuthorizeContext(ctx context.Context, req *Request) Decision {
+	n := len(c.pdps)
+	if n == 0 {
+		return DenyDecision(c.Name(), "no policy decision points configured (default deny)")
+	}
+	if n == 1 {
+		// Nothing to parallelize; skip the goroutine machinery.
+		return combineDecisions(c.mode, c.Name, 1, func(int) Decision {
+			return AuthorizeWithContext(ctx, c.pdps[0], req)
+		})
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	results := make([]Decision, n)
+	done := make([]chan struct{}, n)
+	for i := range c.pdps {
+		done[i] = make(chan struct{})
+		go func(i int) {
+			defer close(done[i])
+			results[i] = AuthorizeWithContext(ctx, c.pdps[i], req)
+		}(i)
+	}
+	return combineDecisions(c.mode, c.Name, n, func(i int) Decision {
+		<-done[i]
+		return results[i]
+	})
+}

@@ -1,0 +1,306 @@
+// Package doclint checks that the repository's documentation does not
+// drift from the code: every `internal/...` path it mentions must
+// exist, every relative markdown link must resolve, and every
+// `pkg.Symbol` (or `pkg.Type.Member`) reference written in code spans
+// must name an exported declaration that the referenced package
+// actually has. It runs as an ordinary test (doclint_test.go), so `go
+// test ./...` — and therefore CI — fails on a dead reference.
+package doclint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Problem is one dead reference found in a documentation file.
+type Problem struct {
+	File string
+	Ref  string
+	Msg  string
+}
+
+// String renders the problem for test output.
+func (p Problem) String() string {
+	return fmt.Sprintf("%s: %q: %s", p.File, p.Ref, p.Msg)
+}
+
+var (
+	// internal/... source paths, optionally with a lower-case file
+	// extension. A dot followed by an upper-case letter (as in
+	// "internal/gram.TestFig1BaselineTrace") ends the path part.
+	pathRef = regexp.MustCompile(`\binternal/[a-z0-9_/-]+(?:\.[a-z0-9_]+)?`)
+	// Relative markdown links [text](target); anchors and absolute URLs
+	// are skipped by the caller.
+	linkRef = regexp.MustCompile(`\]\(([^()\s]+)\)`)
+	// pkg.Symbol or pkg.Type.Member references, pkg being one of this
+	// repository's package names.
+	symbolRef = regexp.MustCompile(`\b([a-z][a-z0-9]*)\.([A-Z][A-Za-z0-9_]*)(?:\.([A-Z][A-Za-z0-9_]*))?`)
+)
+
+// pkgDecls is the exported surface of one package.
+type pkgDecls struct {
+	symbols map[string]bool            // top-level exported names
+	members map[string]map[string]bool // type -> exported methods and fields
+}
+
+// Check scans the given documentation files (paths relative to root)
+// and returns every dead reference found. root is the repository root.
+func Check(root string, docs []string) ([]Problem, error) {
+	pkgs, err := loadPackages(root)
+	if err != nil {
+		return nil, err
+	}
+	var problems []Problem
+	for _, doc := range docs {
+		data, err := os.ReadFile(filepath.Join(root, doc))
+		if err != nil {
+			return nil, err
+		}
+		text := string(data)
+		problems = append(problems, checkPaths(root, doc, text)...)
+		problems = append(problems, checkLinks(root, doc, text)...)
+		problems = append(problems, checkSymbols(doc, text, pkgs)...)
+	}
+	return problems, nil
+}
+
+// DefaultDocs returns the documentation files Check covers by default:
+// README.md, EXPERIMENTS.md and everything under docs/.
+func DefaultDocs(root string) ([]string, error) {
+	docs := []string{"README.md", "EXPERIMENTS.md"}
+	entries, err := os.ReadDir(filepath.Join(root, "docs"))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return docs, nil
+		}
+		return nil, err
+	}
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".md") {
+			docs = append(docs, filepath.Join("docs", e.Name()))
+		}
+	}
+	sort.Strings(docs)
+	return docs, nil
+}
+
+func checkPaths(root, doc, text string) []Problem {
+	var problems []Problem
+	for _, ref := range dedupe(pathRef.FindAllString(text, -1)) {
+		if _, err := os.Stat(filepath.Join(root, ref)); err != nil {
+			problems = append(problems, Problem{File: doc, Ref: ref, Msg: "path does not exist"})
+		}
+	}
+	return problems
+}
+
+func checkLinks(root, doc, text string) []Problem {
+	var problems []Problem
+	for _, m := range linkRef.FindAllStringSubmatch(text, -1) {
+		target := m[1]
+		if strings.Contains(target, "://") || strings.HasPrefix(target, "#") || strings.HasPrefix(target, "mailto:") {
+			continue
+		}
+		target, _, _ = strings.Cut(target, "#")
+		if target == "" {
+			continue
+		}
+		resolved := filepath.Join(root, filepath.Dir(doc), target)
+		if _, err := os.Stat(resolved); err != nil {
+			problems = append(problems, Problem{File: doc, Ref: m[1], Msg: "link target does not exist"})
+		}
+	}
+	return problems
+}
+
+func checkSymbols(doc, text string, pkgs map[string]*pkgDecls) []Problem {
+	var problems []Problem
+	seen := map[string]bool{}
+	for _, m := range symbolRef.FindAllStringSubmatch(text, -1) {
+		pkg, sym, member := m[1], m[2], m[3]
+		ref := m[0]
+		if seen[ref] {
+			continue
+		}
+		seen[ref] = true
+		decls, ok := pkgs[pkg]
+		if !ok {
+			continue // not one of this repository's packages (stdlib, prose)
+		}
+		if !decls.symbols[sym] {
+			problems = append(problems, Problem{File: doc, Ref: ref,
+				Msg: fmt.Sprintf("package %s has no exported %s", pkg, sym)})
+			continue
+		}
+		if member != "" && !decls.members[sym][member] {
+			problems = append(problems, Problem{File: doc, Ref: ref,
+				Msg: fmt.Sprintf("%s.%s has no exported method or field %s", pkg, sym, member)})
+		}
+	}
+	return problems
+}
+
+// loadPackages parses every package in the module (the root package and
+// each internal/* directory) and collects its exported surface.
+func loadPackages(root string) (map[string]*pkgDecls, error) {
+	pkgs := map[string]*pkgDecls{}
+	addDir := func(dir string) error {
+		name, decls, err := parseDir(dir)
+		if err != nil || name == "" {
+			return err
+		}
+		if existing, ok := pkgs[name]; ok {
+			// Same package name in two directories: merge surfaces.
+			for s := range decls.symbols {
+				existing.symbols[s] = true
+			}
+			for t, ms := range decls.members {
+				if existing.members[t] == nil {
+					existing.members[t] = ms
+					continue
+				}
+				for m := range ms {
+					existing.members[t][m] = true
+				}
+			}
+			return nil
+		}
+		pkgs[name] = decls
+		return nil
+	}
+	if err := addDir(root); err != nil {
+		return nil, err
+	}
+	entries, err := os.ReadDir(filepath.Join(root, "internal"))
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range entries {
+		if e.IsDir() {
+			if err := addDir(filepath.Join(root, "internal", e.Name())); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return pkgs, nil
+}
+
+// parseDir parses the Go files of one directory — tests included, so
+// documentation may reference test functions by name — and returns the
+// package name and its exported declarations.
+func parseDir(dir string) (string, *pkgDecls, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return "", nil, err
+	}
+	fset := token.NewFileSet()
+	decls := &pkgDecls{symbols: map[string]bool{}, members: map[string]map[string]bool{}}
+	pkgName := ""
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.SkipObjectResolution)
+		if err != nil {
+			return "", nil, err
+		}
+		// External test packages (pkg_test) document the same pkg.
+		if name := strings.TrimSuffix(f.Name.Name, "_test"); pkgName == "" || !strings.HasSuffix(e.Name(), "_test.go") {
+			pkgName = name
+		}
+		collectFile(f, decls)
+	}
+	return pkgName, decls, nil
+}
+
+func collectFile(f *ast.File, decls *pkgDecls) {
+	addMember := func(typ, name string) {
+		if !ast.IsExported(name) {
+			return
+		}
+		if decls.members[typ] == nil {
+			decls.members[typ] = map[string]bool{}
+		}
+		decls.members[typ][name] = true
+	}
+	for _, d := range f.Decls {
+		switch d := d.(type) {
+		case *ast.FuncDecl:
+			if d.Recv == nil {
+				if ast.IsExported(d.Name.Name) {
+					decls.symbols[d.Name.Name] = true
+				}
+				continue
+			}
+			if typ := recvTypeName(d.Recv); typ != "" {
+				addMember(typ, d.Name.Name)
+			}
+		case *ast.GenDecl:
+			for _, spec := range d.Specs {
+				switch s := spec.(type) {
+				case *ast.TypeSpec:
+					if !ast.IsExported(s.Name.Name) {
+						continue
+					}
+					decls.symbols[s.Name.Name] = true
+					switch t := s.Type.(type) {
+					case *ast.StructType:
+						for _, field := range t.Fields.List {
+							for _, n := range field.Names {
+								addMember(s.Name.Name, n.Name)
+							}
+						}
+					case *ast.InterfaceType:
+						for _, method := range t.Methods.List {
+							for _, n := range method.Names {
+								addMember(s.Name.Name, n.Name)
+							}
+						}
+					}
+				case *ast.ValueSpec:
+					for _, n := range s.Names {
+						if ast.IsExported(n.Name) {
+							decls.symbols[n.Name] = true
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func recvTypeName(recv *ast.FieldList) string {
+	if len(recv.List) == 0 {
+		return ""
+	}
+	t := recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if idx, ok := t.(*ast.IndexExpr); ok { // generic receiver
+		t = idx.X
+	}
+	if ident, ok := t.(*ast.Ident); ok {
+		return ident.Name
+	}
+	return ""
+}
+
+func dedupe(in []string) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, s := range in {
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	return out
+}

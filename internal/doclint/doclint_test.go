@@ -1,0 +1,85 @@
+package doclint
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// repoRoot is the module root relative to this package directory.
+const repoRoot = "../.."
+
+// TestDocsHaveNoDeadReferences is the doc-link check itself: it fails
+// the build when README.md, EXPERIMENTS.md or anything under docs/
+// references a package path, symbol or file that does not exist.
+func TestDocsHaveNoDeadReferences(t *testing.T) {
+	docs, err := DefaultDocs(repoRoot)
+	if err != nil {
+		t.Fatalf("DefaultDocs: %v", err)
+	}
+	if len(docs) < 3 {
+		t.Fatalf("expected README.md, EXPERIMENTS.md and docs/*.md, got %v", docs)
+	}
+	problems, err := Check(repoRoot, docs)
+	if err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+	for _, p := range problems {
+		t.Errorf("dead reference: %s", p)
+	}
+}
+
+// TestCheckDetectsDeadReferences proves the checker actually catches
+// each class of drift, so a green TestDocsHaveNoDeadReferences means
+// something.
+func TestCheckDetectsDeadReferences(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.MkdirAll(filepath.Join(dir, "internal", "widget"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	src := `package widget
+
+type Gadget struct{ Size int }
+
+func (g *Gadget) Spin() {}
+
+func New() *Gadget { return nil }
+`
+	if err := os.WriteFile(filepath.Join(dir, "internal", "widget", "widget.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "root.go"), []byte("package mainpkg\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	doc := "See `internal/widget` and `internal/gone`.\n" +
+		"Good: `widget.New`, `widget.Gadget.Spin`, `widget.Gadget.Size`.\n" +
+		"Bad: `widget.Missing` and `widget.Gadget.Fly`.\n" +
+		"Link: [ok](root.go) and [broken](nowhere.md).\n" +
+		"Ignored: `fmt.Println` is not ours.\n"
+	if err := os.WriteFile(filepath.Join(dir, "GUIDE.md"), []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	problems, err := Check(dir, []string{"GUIDE.md"})
+	if err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+	want := map[string]bool{
+		"internal/gone":     false,
+		"widget.Missing":    false,
+		"widget.Gadget.Fly": false,
+		"nowhere.md":        false,
+	}
+	for _, p := range problems {
+		if _, ok := want[p.Ref]; !ok {
+			t.Errorf("unexpected problem: %s", p)
+			continue
+		}
+		want[p.Ref] = true
+	}
+	for ref, found := range want {
+		if !found {
+			t.Errorf("checker missed dead reference %q", ref)
+		}
+	}
+}

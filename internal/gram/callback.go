@@ -1,6 +1,7 @@
 package gram
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"sync"
@@ -133,7 +134,7 @@ func (g *Gatekeeper) handleSubscribe(peer *Peer, msg *Message, conn net.Conn) {
 		_ = WriteMessage(conn, manageError(&ProtoError{Code: CodeNoSuchJob, Message: msg.JobContact}))
 		return
 	}
-	if perr := g.authorizeManage(peer, jmi, policy.ActionInformation); perr != nil {
+	if perr := g.authorizeManage(g.baseCtx, peer, jmi, policy.ActionInformation); perr != nil {
 		_ = WriteMessage(conn, manageError(perr))
 		return
 	}
@@ -179,7 +180,7 @@ func (g *Gatekeeper) handleSubscribe(peer *Peer, msg *Message, conn net.Conn) {
 
 // authorizeManage runs the management-path authorization for a JMI,
 // honoring mode, placement and tampering exactly like handleManage.
-func (g *Gatekeeper) authorizeManage(peer *Peer, jmi *JMI, action string) *ProtoError {
+func (g *Gatekeeper) authorizeManage(ctx context.Context, peer *Peer, jmi *JMI, action string) *ProtoError {
 	if g.cfg.Mode == AuthzCallout && g.cfg.Placement == PlacementGatekeeper {
 		req := &core.Request{
 			Subject:    peer.Identity,
@@ -189,9 +190,9 @@ func (g *Gatekeeper) authorizeManage(peer *Peer, jmi *JMI, action string) *Proto
 			JobOwner:   jmi.Owner,
 			Spec:       jmi.Spec,
 		}
-		return decisionToProto(g.cfg.Registry.Invoke(core.CalloutGatekeeper, req))
+		return decisionToProto(g.cfg.Registry.InvokeContext(ctx, core.CalloutGatekeeper, req))
 	}
-	return jmi.authorize(peer, action)
+	return jmi.authorize(ctx, peer, action)
 }
 
 func terminalState(s JobState) bool {

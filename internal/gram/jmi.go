@@ -1,6 +1,7 @@
 package gram
 
 import (
+	"context"
 	"fmt"
 	"strconv"
 	"sync"
@@ -186,7 +187,7 @@ func (j *JMI) State() (JobState, string) {
 // dispatches to the configured callout chain. A tampered JMI (§6.2: the
 // JM "is vulnerable to tampering by the user that could result in changed
 // ... policy enforcement") skips the check entirely.
-func (j *JMI) authorize(peer *Peer, action string) *ProtoError {
+func (j *JMI) authorize(ctx context.Context, peer *Peer, action string) *ProtoError {
 	if j.tampered {
 		return nil
 	}
@@ -209,7 +210,7 @@ func (j *JMI) authorize(peer *Peer, action string) *ProtoError {
 			JobOwner:   j.Owner,
 			Spec:       j.Spec,
 		}
-		return decisionToProto(j.registry.Invoke(core.CalloutJobManager, req))
+		return decisionToProto(j.registry.InvokeContext(ctx, core.CalloutJobManager, req))
 	default:
 		return &ProtoError{Code: CodeInternal, Message: "unknown authorization mode"}
 	}
@@ -217,16 +218,23 @@ func (j *JMI) authorize(peer *Peer, action string) *ProtoError {
 
 // Manage authorizes and executes a management request.
 func (j *JMI) Manage(peer *Peer, m *Message) *Message {
-	return j.manage(peer, m, false)
+	return j.manage(context.Background(), peer, m, false)
+}
+
+// ManageContext is Manage with the PEP's per-request context: the
+// callout chain (and any context-aware PDP in it) observes cancellation
+// when the request is abandoned.
+func (j *JMI) ManageContext(ctx context.Context, peer *Peer, m *Message) *Message {
+	return j.manage(ctx, peer, m, false)
 }
 
 // managePreauthorized executes a management request whose authorization
 // already happened in the Gatekeeper (PlacementGatekeeper).
 func (j *JMI) managePreauthorized(m *Message) *Message {
-	return j.manage(nil, m, true)
+	return j.manage(context.Background(), nil, m, true)
 }
 
-func (j *JMI) manage(peer *Peer, m *Message, preauthorized bool) *Message {
+func (j *JMI) manage(ctx context.Context, peer *Peer, m *Message, preauthorized bool) *Message {
 	action := manageToPolicyAction(m.Action)
 	if action == "" {
 		return manageError(&ProtoError{Code: CodeInternal, Message: fmt.Sprintf("unknown action %q", m.Action)})
@@ -236,7 +244,7 @@ func (j *JMI) manage(peer *Peer, m *Message, preauthorized bool) *Message {
 		requester = peer.Identity
 	}
 	if !preauthorized {
-		if perr := j.authorize(peer, action); perr != nil {
+		if perr := j.authorize(ctx, peer, action); perr != nil {
 			return manageError(perr)
 		}
 	}

@@ -1,6 +1,7 @@
 package gram
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -112,6 +113,12 @@ type Gatekeeper struct {
 	listener net.Listener
 	wg       sync.WaitGroup
 	closed   chan struct{}
+
+	// baseCtx is the root of every per-request context; cancelBase fires
+	// in Close so in-flight policy evaluations (context-aware PDPs in a
+	// parallel chain) stop with the daemon.
+	baseCtx    context.Context
+	cancelBase context.CancelFunc
 }
 
 // NewGatekeeper validates the configuration and builds a gatekeeper.
@@ -141,13 +148,16 @@ func NewGatekeeper(cfg Config) (*Gatekeeper, error) {
 	for _, c := range cfg.VOCerts {
 		opts = append(opts, gsi.WithVOCert(c))
 	}
+	baseCtx, cancelBase := context.WithCancel(context.Background())
 	return &Gatekeeper{
-		cfg:    cfg,
-		auth:   gsi.NewAuthenticator(cfg.Credential, cfg.Trust, opts...),
-		jobs:   make(map[string]*JMI),
-		conns:  make(map[net.Conn]struct{}),
-		hub:    newWatchHub(cfg.Cluster),
-		closed: make(chan struct{}),
+		cfg:        cfg,
+		auth:       gsi.NewAuthenticator(cfg.Credential, cfg.Trust, opts...),
+		jobs:       make(map[string]*JMI),
+		conns:      make(map[net.Conn]struct{}),
+		hub:        newWatchHub(cfg.Cluster),
+		closed:     make(chan struct{}),
+		baseCtx:    baseCtx,
+		cancelBase: cancelBase,
 	}, nil
 }
 
@@ -191,6 +201,7 @@ func (g *Gatekeeper) Close() {
 		conns = append(conns, c)
 	}
 	g.mu.Unlock()
+	g.cancelBase()
 	if l != nil {
 		_ = l.Close()
 	}
@@ -247,14 +258,19 @@ func (g *Gatekeeper) handleConn(conn net.Conn) {
 			}
 			return
 		}
+		// Each message gets its own context rooted in the daemon's, so
+		// policy evaluation for one request is cancellable independently
+		// and everything stops when the gatekeeper closes.
+		reqCtx, cancelReq := context.WithCancel(g.baseCtx)
 		var reply *Message
 		switch msg.Type {
 		case MsgJobRequest:
-			reply = g.handleJobRequest(peer, msg)
+			reply = g.handleJobRequest(reqCtx, peer, msg)
 		case MsgManage:
-			reply = g.handleManage(peer, msg)
+			reply = g.handleManage(reqCtx, peer, msg)
 		case MsgSubscribe:
 			// Subscriptions take over the connection for streaming.
+			cancelReq()
 			g.handleSubscribe(peer, msg, conn)
 			return
 		default:
@@ -263,6 +279,7 @@ func (g *Gatekeeper) handleConn(conn net.Conn) {
 				Err:  &ProtoError{Code: CodeInternal, Message: fmt.Sprintf("unknown message type %q", msg.Type)},
 			}
 		}
+		cancelReq()
 		if err := WriteMessage(conn, reply); err != nil {
 			return
 		}
@@ -272,7 +289,7 @@ func (g *Gatekeeper) handleConn(conn net.Conn) {
 // handleJobRequest implements the Figure 1/2 startup path:
 // authentication has already happened; now authorization, account
 // mapping, JMI creation and job submission.
-func (g *Gatekeeper) handleJobRequest(peer *Peer, msg *Message) *Message {
+func (g *Gatekeeper) handleJobRequest(ctx context.Context, peer *Peer, msg *Message) *Message {
 	fail := func(perr *ProtoError) *Message {
 		return &Message{Type: MsgJobReply, Err: perr}
 	}
@@ -336,7 +353,7 @@ func (g *Gatekeeper) handleJobRequest(peer *Peer, msg *Message) *Message {
 		if g.cfg.Placement == PlacementGatekeeper {
 			calloutType = core.CalloutGatekeeper
 		}
-		if perr := decisionToProto(g.cfg.Registry.Invoke(calloutType, req)); perr != nil {
+		if perr := decisionToProto(g.cfg.Registry.InvokeContext(ctx, calloutType, req)); perr != nil {
 			return fail(perr)
 		}
 	}
@@ -418,7 +435,7 @@ func rightsFromSpec(spec *rsl.Spec) accounts.Rights {
 // PEP placed in the Gatekeeper, authorization happens here — in the
 // trusted component — and the JMI is told to skip its own check; the
 // trade-off §6.2 describes.
-func (g *Gatekeeper) handleManage(peer *Peer, msg *Message) *Message {
+func (g *Gatekeeper) handleManage(ctx context.Context, peer *Peer, msg *Message) *Message {
 	g.mu.Lock()
 	jmi, ok := g.jobs[msg.JobContact]
 	g.mu.Unlock()
@@ -438,10 +455,10 @@ func (g *Gatekeeper) handleManage(peer *Peer, msg *Message) *Message {
 			JobOwner:   jmi.Owner,
 			Spec:       jmi.Spec,
 		}
-		if perr := decisionToProto(g.cfg.Registry.Invoke(core.CalloutGatekeeper, req)); perr != nil {
+		if perr := decisionToProto(g.cfg.Registry.InvokeContext(ctx, core.CalloutGatekeeper, req)); perr != nil {
 			return manageError(perr)
 		}
 		return jmi.managePreauthorized(msg)
 	}
-	return jmi.Manage(peer, msg)
+	return jmi.ManageContext(ctx, peer, msg)
 }

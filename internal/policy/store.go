@@ -1,0 +1,79 @@
+package policy
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Store is a concurrency-safe holder of the CURRENT policy of one
+// administrative source, for deployments where the policy can change
+// while the resource is serving requests (the paper's policies live in
+// files the resource owner or VO administrator edits).
+//
+// Its point is change notification: every mutation fires the OnChange
+// hooks after the swap, which is how policy updates reach the decision
+// cache (core.Registry.InvalidateCaches bumps the policy epoch, so the
+// very next request re-evaluates against the new policy — a stale
+// permit can never be served).
+type Store struct {
+	mu    sync.RWMutex
+	pol   *Policy
+	hooks []func()
+}
+
+// NewStore creates a store holding pol.
+func NewStore(pol *Policy) *Store {
+	return &Store{pol: pol}
+}
+
+// Current returns the policy as of now. Policies are treated as
+// immutable once stored: mutate by calling Update with a new one.
+func (s *Store) Current() *Policy {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.pol
+}
+
+// Source returns the current policy's source label.
+func (s *Store) Source() string {
+	return s.Current().Source
+}
+
+// Update atomically replaces the policy and notifies subscribers.
+func (s *Store) Update(pol *Policy) {
+	if pol == nil {
+		return
+	}
+	s.mu.Lock()
+	s.pol = pol
+	hooks := append([]func(){}, s.hooks...)
+	s.mu.Unlock()
+	// Hooks run outside the lock so they may call back into the store.
+	for _, fn := range hooks {
+		fn()
+	}
+}
+
+// UpdateText parses text in the policy language (keeping the current
+// source label) and installs it.
+func (s *Store) UpdateText(text string) error {
+	pol, err := ParseString(text, s.Source())
+	if err != nil {
+		return fmt.Errorf("policy store: %w", err)
+	}
+	s.Update(pol)
+	return nil
+}
+
+// OnChange subscribes fn to policy replacements. fn runs synchronously
+// inside Update, after the new policy is visible, so a caller that
+// invalidates a cache in fn is guaranteed the next Current() call
+// already returns the new policy.
+func (s *Store) OnChange(fn func()) {
+	if fn == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.hooks = append(s.hooks, fn)
+}

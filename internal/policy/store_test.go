@@ -1,0 +1,68 @@
+package policy
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+const boDN = "/O=Grid/O=Globus/OU=mcs.anl.gov/CN=Bo Liu"
+
+func TestStoreUpdateAndHooks(t *testing.T) {
+	s := NewStore(MustParse(boDN+`: &(action = start)`, "VO:NFC"))
+	if s.Source() != "VO:NFC" {
+		t.Fatalf("Source = %q", s.Source())
+	}
+	fired := 0
+	var current *Policy
+	s.OnChange(func() {
+		fired++
+		// The hook must observe the NEW policy already installed.
+		current = s.Current()
+	})
+	if err := s.UpdateText(boDN + `: &(action = cancel)`); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 1 {
+		t.Fatalf("hook fired %d times, want 1", fired)
+	}
+	if current == nil || !strings.Contains(current.Unparse(), "cancel") {
+		t.Errorf("hook saw stale policy: %v", current)
+	}
+	if s.Source() != "VO:NFC" {
+		t.Errorf("UpdateText lost the source label: %q", s.Source())
+	}
+	// A parse failure must neither swap the policy nor fire hooks.
+	if err := s.UpdateText(`not a policy %%%`); err == nil {
+		t.Fatal("UpdateText accepted garbage")
+	}
+	if fired != 1 {
+		t.Errorf("failed update fired hooks")
+	}
+	s.Update(nil) // no-op
+	if fired != 1 {
+		t.Errorf("Update(nil) fired hooks")
+	}
+}
+
+func TestStoreConcurrent(t *testing.T) {
+	s := NewStore(MustParse(boDN+`: &(action = start)`, "VO"))
+	s.OnChange(func() { _ = s.Current() }) // reentrant read from the hook
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				if i%10 == 0 {
+					_ = s.UpdateText(boDN + `: &(action = start)`)
+				}
+				if s.Current() == nil {
+					t.Error("Current returned nil")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -23,6 +23,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync/atomic"
 )
 
 // Op identifies a relation operator.
@@ -461,6 +462,10 @@ func (p *parser) parseVariable() (Value, error) {
 // of values given for it.
 type Spec struct {
 	attrs map[string][]string
+	// canon memoizes the canonical Unparse form; mutators clear it.
+	// Atomic so concurrent readers of a shared, no-longer-mutated spec
+	// (the supported sharing pattern) may race to fill it safely.
+	canon atomic.Pointer[string]
 }
 
 // NewSpec returns an empty specification.
@@ -519,6 +524,7 @@ func flattenInto(s *Spec, node Node, vars map[string]string) error {
 func (s *Spec) Add(attr, value string) *Spec {
 	attr = strings.ToLower(attr)
 	s.attrs[attr] = append(s.attrs[attr], value)
+	s.canon.Store(nil)
 	return s
 }
 
@@ -526,12 +532,14 @@ func (s *Spec) Add(attr, value string) *Spec {
 func (s *Spec) Set(attr string, values ...string) *Spec {
 	attr = strings.ToLower(attr)
 	s.attrs[attr] = append([]string(nil), values...)
+	s.canon.Store(nil)
 	return s
 }
 
 // Delete removes an attribute.
 func (s *Spec) Delete(attr string) {
 	delete(s.attrs, strings.ToLower(attr))
+	s.canon.Store(nil)
 }
 
 // Has reports whether the attribute is present with at least one value.
@@ -580,7 +588,13 @@ func (s *Spec) Clone() *Spec {
 }
 
 // Unparse renders the spec in canonical (sorted, conjunctive) RSL form.
+// The form is memoized: repeated calls on an unmodified spec (one
+// canonical digest per authorization layer, logging, caching) pay for
+// the sort and rendering once.
 func (s *Spec) Unparse() string {
+	if p := s.canon.Load(); p != nil {
+		return *p
+	}
 	var sb strings.Builder
 	sb.WriteString("&")
 	for _, attr := range s.Attributes() {
@@ -595,7 +609,9 @@ func (s *Spec) Unparse() string {
 		}
 		sb.WriteString(")")
 	}
-	return sb.String()
+	out := sb.String()
+	s.canon.Store(&out)
+	return out
 }
 
 // String implements fmt.Stringer.

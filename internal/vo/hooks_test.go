@@ -1,0 +1,38 @@
+package vo
+
+import "testing"
+
+// TestOnChangeFires verifies every VO policy mutation notifies
+// subscribers (the registry wires this to decision-cache invalidation,
+// so a membership change must be visible on the next request).
+func TestOnChangeFires(t *testing.T) {
+	v := newTestVO(t)
+	fired := 0
+	v.OnChange(func() { fired++ })
+	if err := v.AddMember(&Member{Identity: "/O=Grid/CN=New Member", Roles: []string{RoleDeveloper}}); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 1 {
+		t.Fatalf("AddMember: hook fired %d times, want 1", fired)
+	}
+	v.RemoveMember("/O=Grid/CN=New Member")
+	if fired != 2 {
+		t.Fatalf("RemoveMember: hook fired %d times, want 2", fired)
+	}
+	if err := v.DefineJobtag(Jobtag{Name: "EXTRA", ManagerRole: RoleAdmin}); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 3 {
+		t.Fatalf("DefineJobtag: hook fired %d times, want 3", fired)
+	}
+	// Failed mutations change no policy and must not notify.
+	if err := v.DefineJobtag(Jobtag{Name: "EXTRA"}); err == nil {
+		t.Fatal("duplicate jobtag accepted")
+	}
+	if err := v.AddMember(&Member{Identity: "bad"}); err == nil {
+		t.Fatal("invalid identity accepted")
+	}
+	if fired != 3 {
+		t.Errorf("failed mutations fired hooks (fired = %d)", fired)
+	}
+}

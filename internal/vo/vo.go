@@ -72,6 +72,32 @@ type VO struct {
 	jobtags map[string]*Jobtag
 	ttl     time.Duration
 	now     func() time.Time
+	hooks   []func()
+}
+
+// OnChange subscribes fn to membership and jobtag mutations. Resources
+// caching authorization decisions that depend on this VO (the
+// membership gate, policies built from it) wire fn to their registry's
+// InvalidateCaches so an expelled member's cached permits die with the
+// membership.
+func (v *VO) OnChange(fn func()) {
+	if fn == nil {
+		return
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.hooks = append(v.hooks, fn)
+}
+
+// notifyChange runs the hooks outside the lock (hooks may call back
+// into the VO).
+func (v *VO) notifyChange() {
+	v.mu.RLock()
+	hooks := append([]func(){}, v.hooks...)
+	v.mu.RUnlock()
+	for _, fn := range hooks {
+		fn()
+	}
 }
 
 // Option configures a VO.
@@ -121,16 +147,18 @@ func (v *VO) AddMember(m *Member) error {
 	cp.Groups = append([]string(nil), m.Groups...)
 	cp.Jobtags = append([]string(nil), m.Jobtags...)
 	v.mu.Lock()
-	defer v.mu.Unlock()
 	v.members[m.Identity] = &cp
+	v.mu.Unlock()
+	v.notifyChange()
 	return nil
 }
 
 // RemoveMember expels a member.
 func (v *VO) RemoveMember(id gsi.DN) {
 	v.mu.Lock()
-	defer v.mu.Unlock()
 	delete(v.members, id)
+	v.mu.Unlock()
+	v.notifyChange()
 }
 
 // Member returns the member record for id.
@@ -165,12 +193,14 @@ func (v *VO) DefineJobtag(tag Jobtag) error {
 		return fmt.Errorf("vo: jobtag needs a name")
 	}
 	v.mu.Lock()
-	defer v.mu.Unlock()
 	if _, exists := v.jobtags[tag.Name]; exists {
+		v.mu.Unlock()
 		return fmt.Errorf("vo: jobtag %q already defined", tag.Name)
 	}
 	cp := tag
 	v.jobtags[tag.Name] = &cp
+	v.mu.Unlock()
+	v.notifyChange()
 	return nil
 }
 
