@@ -621,8 +621,10 @@ func BenchmarkP6_DecisionCache(b *testing.B) {
 		reg.Bind(core.CalloutJobManager, vo)
 		reg.Bind(core.CalloutJobManager, &core.PolicyPDP{Policy: local})
 		if cache {
+			// The maximum permitted TTL, so the benchmark measures the hit
+			// path, not TTL churn.
 			reg.SetCalloutOptions(core.CalloutJobManager, core.CalloutOptions{
-				Cache: true, CacheTTL: time.Hour,
+				Cache: true, CacheTTL: core.MaxCacheTTL,
 			})
 		}
 		return reg

@@ -60,7 +60,7 @@ func run(args []string) error {
 	tick := fs.Duration("tick", time.Second, "virtual-clock advance per wall-clock second")
 	authzParallel := fs.Bool("authz-parallel", false, "evaluate callout PDP chains concurrently")
 	authzCache := fs.Bool("authz-cache", false, "cache callout decisions (sharded TTL decision cache)")
-	authzCacheTTL := fs.Duration("authz-cache-ttl", 5*time.Second, "decision cache entry lifetime")
+	authzCacheTTL := fs.Duration("authz-cache-ttl", 5*time.Second, "decision cache entry lifetime (capped at 60s)")
 	authzCacheShards := fs.Int("authz-cache-shards", 16, "decision cache shard count")
 	if err := fs.Parse(args); err != nil {
 		return err

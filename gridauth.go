@@ -160,7 +160,11 @@ type ResourceConfig struct {
 	// ParallelAuthz evaluates each callout chain's PDPs concurrently
 	// (core.ParallelCombined) instead of one after another. Decision
 	// semantics are unchanged; per-request latency drops from the sum of
-	// the PDPs' costs to roughly the slowest one's.
+	// the PDPs' costs to roughly the slowest one's. Side-effecting PDPs
+	// (the Allocation PDP, any core.EffectfulPDP among ExtraPDPs) are
+	// never fanned out speculatively: they still run in configuration
+	// order, only when every earlier source has accepted, so a denied
+	// request cannot reserve allocation budget.
 	ParallelAuthz bool
 	// DecisionCache memoizes Permit/Deny callout decisions in a sharded
 	// TTL cache keyed on the request's canonical digest
@@ -169,7 +173,9 @@ type ResourceConfig struct {
 	// reserves budget on permit, and a cache hit would skip the
 	// reservation.
 	DecisionCache bool
-	// DecisionCacheTTL bounds cache entry lifetime (default 5s).
+	// DecisionCacheTTL bounds cache entry lifetime (default 5s, clamped
+	// to core.MaxCacheTTL: the TTL is the only bound on credential
+	// expiry the cache key cannot see).
 	DecisionCacheTTL time.Duration
 	// DecisionCacheShards is the cache shard count (default 16).
 	DecisionCacheShards int
@@ -279,6 +285,13 @@ func (f *Fabric) StartResource(cfg ResourceConfig) (*Resource, error) {
 	}
 	if cfg.DecisionCache && cfg.Allocation != nil {
 		return nil, errors.New("gridauth: DecisionCache cannot be combined with Allocation: the allocation PDP reserves budget on permit, and a cache hit would skip the reservation")
+	}
+	if cfg.DecisionCache {
+		for _, p := range pdps {
+			if core.IsSideEffecting(p) {
+				return nil, fmt.Errorf("gridauth: DecisionCache cannot be combined with side-effecting PDP %s: a cache hit would skip its effect", p.Name())
+			}
+		}
 	}
 	if cfg.ParallelAuthz || cfg.DecisionCache {
 		o := core.CalloutOptions{

@@ -249,9 +249,17 @@ type PDP struct {
 }
 
 var _ core.PDP = (*PDP)(nil)
+var _ core.EffectfulPDP = (*PDP)(nil)
 
 // Name implements core.PDP.
 func (p *PDP) Name() string { return "vo-allocation" }
+
+// SideEffecting implements core.EffectfulPDP: with ReserveOnPermit the
+// PDP charges the VO budget as part of evaluation, so it must never be
+// evaluated speculatively (a parallel fan-out would reserve for
+// requests another source denies) nor skipped (a cache hit would admit
+// without reserving).
+func (p *PDP) SideEffecting() bool { return p.ReserveOnPermit }
 
 // Authorize implements core.PDP.
 func (p *PDP) Authorize(req *core.Request) core.Decision {

@@ -123,6 +123,52 @@ func TestPDPScope(t *testing.T) {
 	}
 }
 
+// TestPDPNotSpeculatedInParallelChain is the REVIEW.md regression: in
+// a parallel callout chain, a denied request must not reserve VO
+// budget. The PDP declares itself side-effecting (ReserveOnPermit), so
+// core.ParallelCombined keeps it out of the eager fan-out and only
+// evaluates it when every earlier source has accepted — repeated
+// denials therefore cannot drain the allocation.
+func TestPDPNotSpeculatedInParallelChain(t *testing.T) {
+	tr := NewTracker()
+	tr.SetGrant(Grant{VO: "NFC", CPUSeconds: 7200})
+	tr.Enroll(dn(kate), "NFC")
+	pdp := &PDP{Tracker: tr, ReserveOnPermit: true}
+	if !pdp.SideEffecting() {
+		t.Fatal("reserving PDP must declare itself side-effecting")
+	}
+
+	deny := core.PDPFunc{ID: "local", Fn: func(*core.Request) core.Decision {
+		return core.DenyDecision("local", "no")
+	}}
+	chain := core.NewParallelCombined(core.RequireAllPermit, deny, pdp)
+	for i := 0; i < 10; i++ {
+		if d := chain.Authorize(startReq(kate, "j"+itoa(i), 2, 30)); d.Effect != core.Deny {
+			t.Fatalf("request %d: %v, want Deny", i, d.Effect)
+		}
+	}
+	u, err := tr.UsageOf("NFC")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Reserved != 0 || u.Used != 0 {
+		t.Fatalf("denied requests drained the allocation: %+v", u)
+	}
+
+	// With a permitting source in front, the reservation fires normally.
+	permit := core.PDPFunc{ID: "vo", Fn: func(*core.Request) core.Decision {
+		return core.PermitDecision("vo", "ok")
+	}}
+	chain = core.NewParallelCombined(core.RequireAllPermit, permit, pdp)
+	if d := chain.Authorize(startReq(kate, "ok", 2, 30)); d.Effect != core.Permit {
+		t.Fatalf("permitted request: %v (%s)", d.Effect, d.Reason)
+	}
+	u, _ = tr.UsageOf("NFC")
+	if u.Reserved != 3600 {
+		t.Errorf("Reserved = %v, want 3600", u.Reserved)
+	}
+}
+
 func TestAttachCommitsFromSchedulerEvents(t *testing.T) {
 	tr := NewTracker()
 	tr.SetGrant(Grant{VO: "NFC", CPUSeconds: 100_000})

@@ -63,11 +63,22 @@ func appendField(buf []byte, s string) []byte {
 	return append(buf, s...)
 }
 
+// MaxCacheTTL is the hard ceiling on decision-cache entry lifetime.
+// The cache key deliberately excludes Request.Time, so time-dependent
+// validity — assertion NotAfter, Akenti use-condition and
+// attribute-certificate windows — is only re-checked when an entry
+// expires, and no OnChange event fires when a credential merely ages
+// out. The cap bounds that staleness window regardless of
+// configuration: NewDecisionCache clamps larger TTLs, and the
+// config-file path rejects them outright.
+const MaxCacheTTL = time.Minute
+
 // CacheConfig sizes a DecisionCache.
 type CacheConfig struct {
-	// TTL bounds how long an entry may be served (default 5s). The TTL
-	// also bounds the staleness window for time-dependent validity
-	// (assertion expiry), which the cache key does not capture.
+	// TTL bounds how long an entry may be served (default 5s, clamped to
+	// MaxCacheTTL). The TTL also bounds the staleness window for
+	// time-dependent validity (assertion expiry), which the cache key
+	// does not capture.
 	TTL time.Duration
 	// Shards is the number of independently locked shards (default 16,
 	// rounded up to a power of two).
@@ -127,6 +138,9 @@ func NewDecisionCache(cfg CacheConfig) *DecisionCache {
 	if cfg.TTL <= 0 {
 		cfg.TTL = 5 * time.Second
 	}
+	if cfg.TTL > MaxCacheTTL {
+		cfg.TTL = MaxCacheTTL
+	}
 	if cfg.Shards <= 0 {
 		cfg.Shards = 16
 	}
@@ -164,13 +178,15 @@ func (c *DecisionCache) shard(key CacheKey) *cacheShard {
 	return &c.shards[binary.LittleEndian.Uint64(key[:8])&uint64(len(c.shards)-1)]
 }
 
-// Get returns the cached decision for key, if a live one exists.
+// Get returns the cached decision for key, if a live one exists. The
+// current epoch is loaded inside the shard lock, after the entry is
+// found, so an Invalidate that completes before the lookup is always
+// honoured.
 func (c *DecisionCache) Get(key CacheKey) (Decision, bool) {
-	epoch := c.epoch.Load()
 	s := c.shard(key)
 	s.mu.Lock()
 	e, ok := s.entries[key]
-	if ok && (e.epoch != epoch || c.now().After(e.expires)) {
+	if ok && (e.epoch != c.epoch.Load() || c.now().After(e.expires)) {
 		delete(s.entries, key)
 		ok = false
 	}
@@ -183,21 +199,30 @@ func (c *DecisionCache) Get(key CacheKey) (Decision, bool) {
 	return e.d, true
 }
 
-// Put stores a decision under key. Error and NotApplicable decisions
-// are not cached.
-func (c *DecisionCache) Put(key CacheKey, d Decision) {
+// Put stores a decision under key. epoch must be the cache epoch
+// observed BEFORE the decision was computed (Epoch()): if the policy
+// changed while the evaluation ran, the decision reflects the old
+// policy, and storing it under the post-change epoch would serve it as
+// fresh for up to the TTL. Put therefore drops the entry when the
+// epoch has moved on; in the residual race (the bump lands after the
+// check) the entry is stored under the captured, now-stale epoch, so
+// Get rejects it anyway. Error and NotApplicable decisions are not
+// cached.
+func (c *DecisionCache) Put(key CacheKey, d Decision, epoch uint64) {
 	if d.Effect != Permit && d.Effect != Deny {
 		return
 	}
-	epoch := c.epoch.Load()
 	now := c.now()
 	s := c.shard(key)
 	s.mu.Lock()
+	defer s.mu.Unlock()
+	if epoch != c.epoch.Load() {
+		return
+	}
 	if len(s.entries) >= c.max {
 		c.sweepLocked(s, epoch, now)
 	}
 	s.entries[key] = cacheEntry{d: d, epoch: epoch, expires: now.Add(c.ttl)}
-	s.mu.Unlock()
 }
 
 // sweepLocked drops dead entries; if the shard is still full, arbitrary
@@ -276,13 +301,18 @@ func (p *CachedPDP) Authorize(req *Request) Decision {
 	return p.AuthorizeContext(context.Background(), req)
 }
 
-// AuthorizeContext implements ContextPDP.
+// AuthorizeContext implements ContextPDP. The epoch is captured before
+// the inner chain runs: if a policy mutation fires Invalidate during
+// evaluation (remote PDPs make this window wide), the decision was
+// computed against the old policy and Put discards it rather than
+// publishing it under the new epoch.
 func (p *CachedPDP) AuthorizeContext(ctx context.Context, req *Request) Decision {
 	key := DecisionCacheKey(p.Scope, req)
 	if d, ok := p.Cache.Get(key); ok {
 		return d
 	}
+	epoch := p.Cache.Epoch()
 	d := AuthorizeWithContext(ctx, p.Inner, req)
-	p.Cache.Put(key, d)
+	p.Cache.Put(key, d, epoch)
 	return d
 }

@@ -91,7 +91,7 @@ func TestDecisionCacheHitMissTTL(t *testing.T) {
 	if _, ok := c.Get(key); ok {
 		t.Fatal("empty cache reported a hit")
 	}
-	c.Put(key, PermitDecision("vo", "ok"))
+	c.Put(key, PermitDecision("vo", "ok"), c.Epoch())
 	d, ok := c.Get(key)
 	if !ok || d.Effect != Permit || d.Source != "vo" {
 		t.Fatalf("Get = (%v, %v), want cached permit", d, ok)
@@ -115,10 +115,10 @@ func TestDecisionCacheOnlyCachesPermitAndDeny(t *testing.T) {
 	mk := func(i int) CacheKey {
 		return DecisionCacheKey("t", &Request{Subject: bo, Action: fmt.Sprintf("a%d", i)})
 	}
-	c.Put(mk(0), PermitDecision("x", "ok"))
-	c.Put(mk(1), DenyDecision("x", "no"))
-	c.Put(mk(2), ErrorDecision("x", "backend down"))
-	c.Put(mk(3), AbstainDecision("x", "n/a"))
+	c.Put(mk(0), PermitDecision("x", "ok"), c.Epoch())
+	c.Put(mk(1), DenyDecision("x", "no"), c.Epoch())
+	c.Put(mk(2), ErrorDecision("x", "backend down"), c.Epoch())
+	c.Put(mk(3), AbstainDecision("x", "n/a"), c.Epoch())
 	if c.Len() != 2 {
 		t.Errorf("Len = %d, want 2 (Error and NotApplicable must not be cached)", c.Len())
 	}
@@ -130,7 +130,7 @@ func TestDecisionCacheOnlyCachesPermitAndDeny(t *testing.T) {
 func TestDecisionCacheInvalidate(t *testing.T) {
 	c := NewDecisionCache(CacheConfig{})
 	key := DecisionCacheKey("t", &Request{Subject: bo, Action: policy.ActionStart})
-	c.Put(key, PermitDecision("vo", "ok"))
+	c.Put(key, PermitDecision("vo", "ok"), c.Epoch())
 	if _, ok := c.Get(key); !ok {
 		t.Fatal("warm entry missing")
 	}
@@ -139,7 +139,7 @@ func TestDecisionCacheInvalidate(t *testing.T) {
 		t.Fatal("stale permit served after Invalidate")
 	}
 	// A fresh entry stored AFTER the bump is served normally.
-	c.Put(key, DenyDecision("vo", "new policy"))
+	c.Put(key, DenyDecision("vo", "new policy"), c.Epoch())
 	if d, ok := c.Get(key); !ok || d.Effect != Deny {
 		t.Fatalf("post-invalidation store not served: (%v, %v)", d, ok)
 	}
@@ -152,7 +152,7 @@ func TestDecisionCacheEviction(t *testing.T) {
 	c := NewDecisionCache(CacheConfig{Shards: 1, MaxEntriesPerShard: 8})
 	for i := 0; i < 100; i++ {
 		key := DecisionCacheKey("t", &Request{Subject: bo, Action: fmt.Sprintf("a%d", i)})
-		c.Put(key, PermitDecision("x", "ok"))
+		c.Put(key, PermitDecision("x", "ok"), c.Epoch())
 	}
 	if c.Len() > 8 {
 		t.Errorf("Len = %d, want <= MaxEntriesPerShard (8)", c.Len())
@@ -175,7 +175,7 @@ func TestDecisionCacheConcurrent(t *testing.T) {
 					t.Errorf("cached decision corrupted: %v", d)
 					return
 				}
-				c.Put(key, PermitDecision("x", "ok"))
+				c.Put(key, PermitDecision("x", "ok"), c.Epoch())
 			}
 		}(g)
 	}
@@ -206,6 +206,62 @@ func TestCachedPDP(t *testing.T) {
 	}
 	if n := inner.calls.Load(); n != 1 {
 		t.Errorf("inner evaluated %d times for 10 identical requests, want 1", n)
+	}
+}
+
+// TestDecisionCachePutStaleEpoch: a Put carrying an epoch observed
+// before an Invalidate must not publish the decision — it was computed
+// against the old policy.
+func TestDecisionCachePutStaleEpoch(t *testing.T) {
+	c := NewDecisionCache(CacheConfig{})
+	key := DecisionCacheKey("t", &Request{Subject: bo, Action: policy.ActionStart})
+	epoch := c.Epoch()
+	c.Invalidate() // policy changed while the decision was being computed
+	c.Put(key, PermitDecision("vo", "ok"), epoch)
+	if _, ok := c.Get(key); ok {
+		t.Fatal("decision computed under a stale epoch was served")
+	}
+}
+
+// TestCachedPDPInvalidateDuringEvaluation closes the window REVIEW.md
+// flagged: an invalidation that fires WHILE the inner chain is
+// evaluating (here, from inside the inner PDP itself) must prevent the
+// in-flight decision from being cached, so the next request
+// re-evaluates against the new policy.
+func TestCachedPDPInvalidateDuringEvaluation(t *testing.T) {
+	cache := NewDecisionCache(CacheConfig{})
+	inner := &countingPDP{name: "vo"}
+	inner.d = func(*Request) Decision {
+		if inner.calls.Load() == 1 {
+			cache.Invalidate() // concurrent policy mutation mid-evaluation
+		}
+		return PermitDecision("vo", "ok")
+	}
+	cached := &CachedPDP{Inner: inner, Cache: cache, Scope: "t"}
+	req := &Request{Subject: bo, Action: policy.ActionStart}
+	cached.Authorize(req)
+	cached.Authorize(req)
+	if n := inner.calls.Load(); n != 2 {
+		t.Fatalf("inner evaluated %d times, want 2: the decision computed across the invalidation must not be served from cache", n)
+	}
+	// With no further mutations the second decision IS cached.
+	cached.Authorize(req)
+	if n := inner.calls.Load(); n != 2 {
+		t.Errorf("inner evaluated %d times, want 2: post-invalidation decision should now be cached", n)
+	}
+}
+
+// TestCacheTTLClamped: no construction path may produce a cache whose
+// TTL exceeds MaxCacheTTL — it is the only bound on how long an
+// expired credential keeps satisfying a cached permit.
+func TestCacheTTLClamped(t *testing.T) {
+	if got := NewDecisionCache(CacheConfig{TTL: time.Hour}).TTL(); got != MaxCacheTTL {
+		t.Errorf("NewDecisionCache TTL = %v, want clamp to %v", got, MaxCacheTTL)
+	}
+	r := NewRegistry()
+	r.SetCalloutOptions(CalloutJobManager, CalloutOptions{Cache: true, CacheTTL: time.Hour})
+	if got := r.Options(CalloutJobManager).CacheTTL; got != MaxCacheTTL {
+		t.Errorf("SetCalloutOptions CacheTTL = %v, want clamp to %v", got, MaxCacheTTL)
 	}
 }
 
@@ -242,6 +298,7 @@ func TestRegistryOptionsErrors(t *testing.T) {
 		CalloutJobManager + ` options cache=maybe`,
 		CalloutJobManager + ` options cache-ttl=-3s`,
 		CalloutJobManager + ` options cache-ttl=fast`,
+		CalloutJobManager + ` options cache-ttl=2h`,
 		CalloutJobManager + ` options cache-shards=0`,
 		CalloutJobManager + ` options cache-shards=lots`,
 		CalloutJobManager + ` options turbo=on`,
@@ -269,7 +326,7 @@ func TestRegistryCacheInvalidationVisibleNextRequest(t *testing.T) {
 	store := policy.NewStore(policy.MustParse(grant, "VO:NFC"))
 	r := NewRegistry()
 	r.Bind(CalloutJobManager, &StorePDP{Store: store})
-	r.SetCalloutOptions(CalloutJobManager, CalloutOptions{Cache: true, CacheTTL: time.Hour})
+	r.SetCalloutOptions(CalloutJobManager, CalloutOptions{Cache: true, CacheTTL: MaxCacheTTL})
 	store.OnChange(r.InvalidateCaches)
 
 	req := &Request{
@@ -280,7 +337,8 @@ func TestRegistryCacheInvalidationVisibleNextRequest(t *testing.T) {
 	if d := r.Invoke(CalloutJobManager, req); d.Effect != Permit {
 		t.Fatalf("initial request: %v (%s)", d.Effect, d.Reason)
 	}
-	// Warm hit — the TTL is an hour, so only invalidation can unseat it.
+	// Warm hit — the TTL is the maximum allowed, far longer than this
+	// test runs, so only invalidation can unseat it.
 	if d := r.Invoke(CalloutJobManager, req); d.Effect != Permit {
 		t.Fatalf("warm request: %v", d.Effect)
 	}
@@ -299,7 +357,7 @@ func TestRegistryCacheInvalidationVisibleNextRequest(t *testing.T) {
 func TestRegistryRebindInvalidatesCache(t *testing.T) {
 	r := NewRegistry()
 	r.Bind(CalloutJobManager, permitAll("vo"))
-	r.SetCalloutOptions(CalloutJobManager, CalloutOptions{Cache: true, CacheTTL: time.Hour})
+	r.SetCalloutOptions(CalloutJobManager, CalloutOptions{Cache: true, CacheTTL: MaxCacheTTL})
 	req := &Request{Subject: bo, Action: policy.ActionStart}
 	if d := r.Invoke(CalloutJobManager, req); d.Effect != Permit {
 		t.Fatalf("before rebind: %v", d.Effect)

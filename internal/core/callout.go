@@ -60,7 +60,9 @@ type CalloutOptions struct {
 	// on the request's canonical digest. Enable only for side-effect
 	// free chains (see CachedPDP).
 	Cache bool
-	// CacheTTL bounds entry lifetime (default 5s).
+	// CacheTTL bounds entry lifetime (default 5s, clamped to
+	// MaxCacheTTL: the TTL is the only bound on time-based credential
+	// validity the cache key cannot see).
 	CacheTTL time.Duration
 	// CacheShards is the shard count (default 16, rounded to a power of
 	// two).
@@ -163,6 +165,11 @@ func (r *Registry) Configured(calloutType string) bool {
 func (r *Registry) SetCalloutOptions(calloutType string, o CalloutOptions) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if o.CacheTTL > MaxCacheTTL {
+		// Clamp rather than error on the API path, so Options() reports
+		// the TTL the cache actually enforces.
+		o.CacheTTL = MaxCacheTTL
+	}
 	r.opts[calloutType] = o
 	if o.Cache {
 		r.caches[calloutType] = NewDecisionCache(CacheConfig{TTL: o.CacheTTL, Shards: o.CacheShards})
@@ -268,6 +275,9 @@ func parseCalloutOptions(base CalloutOptions, params map[string]string) (Callout
 			d, err := time.ParseDuration(v)
 			if err != nil || d <= 0 {
 				return o, fmt.Errorf("cache-ttl must be a positive duration, got %q", v)
+			}
+			if d > MaxCacheTTL {
+				return o, fmt.Errorf("cache-ttl %q exceeds the %v cap (the TTL bounds how long an expired assertion can keep satisfying a cached permit)", v, MaxCacheTTL)
 			}
 			o.CacheTTL = d
 		case "cache-shards":

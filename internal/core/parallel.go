@@ -28,6 +28,27 @@ func AuthorizeWithContext(ctx context.Context, p PDP, req *Request) Decision {
 	return p.Authorize(req)
 }
 
+// EffectfulPDP is optionally implemented by PDPs whose evaluation
+// mutates state — reserving allocation budget, leasing accounts. Such a
+// PDP must only be evaluated when sequential combination would have
+// evaluated it: speculative evaluation would fire the side effect for
+// requests an earlier source already rejected, and a cache hit would
+// skip it entirely. ParallelCombined therefore never fans a
+// side-effecting child out eagerly (it evaluates it in combination
+// order, only if reached), and enforcement points must keep such PDPs
+// out of cached chains (see CachedPDP).
+type EffectfulPDP interface {
+	PDP
+	// SideEffecting reports whether evaluating this PDP mutates state.
+	SideEffecting() bool
+}
+
+// IsSideEffecting reports whether p declares evaluation side effects.
+func IsSideEffecting(p PDP) bool {
+	e, ok := p.(EffectfulPDP)
+	return ok && e.SideEffecting()
+}
+
 // ParallelCombined is a PDP that merges the decisions of several PDPs
 // like Combined, but evaluates the children concurrently: one goroutine
 // per child, with the results consumed strictly in configuration order
@@ -42,6 +63,13 @@ func AuthorizeWithContext(ctx context.Context, p PDP, req *Request) Decision {
 // Early exit: the moment the resolver returns (e.g. first deny under
 // RequireAllPermit, first permit under PermitOverrides), the evaluation
 // context is cancelled so ContextPDP children still running can abort.
+//
+// Side-effecting children (EffectfulPDP) are excluded from the eager
+// fan-out: they are evaluated synchronously, in combination order, only
+// when the resolver actually reaches them — i.e. exactly when
+// sequential evaluation would have run them. An allocation PDP that
+// reserves budget on evaluation therefore never reserves for a request
+// an earlier source already denied.
 type ParallelCombined struct {
 	mode CombineMode
 	pdps []PDP
@@ -87,6 +115,14 @@ func (c *ParallelCombined) AuthorizeContext(ctx context.Context, req *Request) D
 	results := make([]Decision, n)
 	done := make([]chan struct{}, n)
 	for i := range c.pdps {
+		if IsSideEffecting(c.pdps[i]) {
+			// Left to the resolver below: a side-effecting child may only
+			// run once every earlier child has been consumed without
+			// determining the outcome, or its effect (e.g. an allocation
+			// reservation) would fire for requests sequential evaluation
+			// would never have shown it.
+			continue
+		}
 		done[i] = make(chan struct{})
 		go func(i int) {
 			defer close(done[i])
@@ -94,6 +130,9 @@ func (c *ParallelCombined) AuthorizeContext(ctx context.Context, req *Request) D
 		}(i)
 	}
 	return combineDecisions(c.mode, c.Name, n, func(i int) Decision {
+		if done[i] == nil {
+			return AuthorizeWithContext(ctx, c.pdps[i], req)
+		}
 		<-done[i]
 		return results[i]
 	})

@@ -170,6 +170,80 @@ func TestParallelOuterContextCancellation(t *testing.T) {
 	}
 }
 
+// effectPDP counts evaluations and declares them side-effecting, like
+// the allocation PDP reserving budget on evaluation.
+type effectPDP struct {
+	countingPDP
+	effectful bool
+}
+
+func (p *effectPDP) SideEffecting() bool { return p.effectful }
+
+func newEffectPDP(name string, effectful bool, d Decision) *effectPDP {
+	p := &effectPDP{effectful: effectful}
+	p.name = name
+	p.d = func(*Request) Decision { return d }
+	return p
+}
+
+// TestParallelSideEffectingNotSpeculated is the REVIEW.md regression:
+// a side-effecting child (allocation reservation) bound after a denying
+// source must NOT be evaluated by the parallel combiner — sequential
+// RequireAllPermit evaluation would never reach it, and its effect
+// (budget drained by a request that is never admitted) cannot be
+// undone by discarding the decision.
+func TestParallelSideEffectingNotSpeculated(t *testing.T) {
+	req := &Request{Subject: bo, Action: policy.ActionStart}
+	effect := newEffectPDP("alloc", true, AbstainDecision("alloc", "reserved"))
+	d := NewParallelCombined(RequireAllPermit, permitAll("vo"), denyAll("local"), effect).Authorize(req)
+	if d.Effect != Deny {
+		t.Fatalf("Effect = %v, want Deny", d.Effect)
+	}
+	if n := effect.calls.Load(); n != 0 {
+		t.Errorf("side-effecting child evaluated %d times on a denied request, want 0", n)
+	}
+	// When every earlier source accepts, the side-effecting child runs —
+	// exactly once, as in sequential evaluation.
+	d = NewParallelCombined(RequireAllPermit, permitAll("vo"), permitAll("local"), effect).Authorize(req)
+	if d.Effect != Permit {
+		t.Fatalf("Effect = %v (%s), want Permit", d.Effect, d.Reason)
+	}
+	if n := effect.calls.Load(); n != 1 {
+		t.Errorf("side-effecting child evaluated %d times on a permitted request, want 1", n)
+	}
+	// An unmarked (effectful=false) child IS fanned out: the marker, not
+	// the type, gates speculation.
+	pure := newEffectPDP("pure", false, AbstainDecision("pure", "n/a"))
+	NewParallelCombined(RequireAllPermit, denyAll("local"), pure).Authorize(req)
+	if n := pure.calls.Load(); n != 1 {
+		t.Errorf("pure child evaluated %d times, want 1 (eager fan-out)", n)
+	}
+}
+
+// TestParallelSideEffectingMatchesSequential: for every prefix outcome
+// and mode, the parallel combiner must evaluate a trailing
+// side-effecting child exactly as often as the sequential combiner
+// does, and produce the same decision.
+func TestParallelSideEffectingMatchesSequential(t *testing.T) {
+	req := &Request{Subject: bo, Action: policy.ActionStart}
+	for _, mode := range allModes {
+		for _, o := range pdpOutcomes {
+			seqEff := newEffectPDP("alloc", true, AbstainDecision("alloc", "reserved"))
+			parEff := newEffectPDP("alloc", true, AbstainDecision("alloc", "reserved"))
+			prefix := o.make("p0")
+			seq := NewCombined(mode, prefix, seqEff).Authorize(req)
+			par := NewParallelCombined(mode, prefix, parEff).Authorize(req)
+			if seq.Effect != par.Effect || seq.Reason != par.Reason {
+				t.Errorf("%s/%s: parallel = (%v, %q), sequential = (%v, %q)",
+					mode, o.tag, par.Effect, par.Reason, seq.Effect, seq.Reason)
+			}
+			if s, p := seqEff.calls.Load(), parEff.calls.Load(); s != p {
+				t.Errorf("%s/%s: side-effecting child evaluated %d times in parallel, %d sequentially", mode, o.tag, p, s)
+			}
+		}
+	}
+}
+
 // TestParallelEmptyDefaultDeny mirrors the sequential default-deny rule.
 func TestParallelEmptyDefaultDeny(t *testing.T) {
 	d := NewParallelCombined(RequireAllPermit).Authorize(&Request{Subject: bo})
