@@ -11,7 +11,10 @@ package gridauth
 
 import (
 	"fmt"
+	"net"
 	"strconv"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -20,6 +23,7 @@ import (
 	"gridauth/internal/cas"
 	"gridauth/internal/core"
 	"gridauth/internal/gram"
+	"gridauth/internal/gridmap"
 	"gridauth/internal/gsi"
 	"gridauth/internal/jobcontrol"
 	"gridauth/internal/policy"
@@ -653,6 +657,197 @@ func BenchmarkP6_DecisionCache(b *testing.B) {
 				}
 			}
 		})
+	})
+}
+
+// BenchmarkP7_SessionResumption compares a full GSI mutual handshake
+// (chain transfer, chain verification, per-leg signatures) against a
+// ticket resumption (one round trip, HMAC checks only) over real TCP.
+// The acceptance bar for this PR is >=5x.
+func BenchmarkP7_SessionResumption(b *testing.B) {
+	ca, err := gsi.NewCA("/O=Grid/CN=P7 CA")
+	if err != nil {
+		b.Fatal(err)
+	}
+	trust := gsi.NewTrustStore(ca.Certificate())
+	user, err := ca.Issue("/O=Grid/CN=P7 User", gsi.KindUser)
+	if err != nil {
+		b.Fatal(err)
+	}
+	proxy, err := gsi.Delegate(user, time.Hour, false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	gkCred, err := ca.Issue("/O=Grid/CN=P7 Gatekeeper", gsi.KindService)
+	if err != nil {
+		b.Fatal(err)
+	}
+	issuer, err := gsi.NewTicketIssuer(0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	acceptor := gsi.NewAuthenticator(gkCred, trust, gsi.WithTicketIssuer(issuer))
+
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { l.Close() })
+	go func() {
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go func(conn net.Conn) {
+				defer conn.Close()
+				if _, _, err := acceptor.HandshakeAccept(conn); err != nil {
+					return
+				}
+				// Hold the connection until the client hangs up.
+				_, _ = conn.Read(make([]byte, 1))
+			}(conn)
+		}
+	}()
+	addr := l.Addr().String()
+
+	handshake := func(b *testing.B, auth *gsi.Authenticator, wantResumed bool) {
+		b.Helper()
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer conn.Close()
+		peer, _, err := auth.HandshakeClient(conn, addr)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if peer.Resumed != wantResumed {
+			b.Fatalf("resumed = %v, want %v", peer.Resumed, wantResumed)
+		}
+	}
+
+	b.Run("full", func(b *testing.B) {
+		auth := gsi.NewAuthenticator(proxy, trust)
+		for i := 0; i < b.N; i++ {
+			handshake(b, auth, false)
+		}
+	})
+	b.Run("resumed", func(b *testing.B) {
+		auth := gsi.NewAuthenticator(proxy, trust,
+			gsi.WithSessionCache(gsi.NewSessionCache()))
+		handshake(b, auth, false) // prime: full handshake grants the ticket
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			handshake(b, auth, true)
+		}
+	})
+}
+
+// BenchmarkP8_MultiplexedManagement measures concurrent status requests
+// against one gatekeeper whose management path pays a simulated 200µs
+// PDP callout (gatekeeper placement — the regime of the paper's remote
+// Akenti integration, where per-request latency is dominated by the
+// authorization round trip). Increasing in-flight depth over ONE shared
+// multiplexed connection overlaps those callouts; a 4-connection fleet
+// serves as the pre-multiplexing reference. The acceptance bar is
+// one-connection throughput scaling with in-flight depth.
+func BenchmarkP8_MultiplexedManagement(b *testing.B) {
+	ca, err := gsi.NewCA("/O=Grid/CN=P8 CA")
+	if err != nil {
+		b.Fatal(err)
+	}
+	trust := gsi.NewTrustStore(ca.Certificate())
+	const userDN = gsi.DN("/O=Grid/CN=P8 User")
+	user, err := ca.Issue(userDN, gsi.KindUser)
+	if err != nil {
+		b.Fatal(err)
+	}
+	proxy, err := gsi.Delegate(user, time.Hour, false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	gkCred, err := ca.Issue("/O=Grid/CN=P8 Gatekeeper", gsi.KindService)
+	if err != nil {
+		b.Fatal(err)
+	}
+	gmap := gridmap.New()
+	gmap.Add(userDN, "p8acct")
+	pol := policy.MustParse(string(userDN)+`:
+  &(action = start)(executable = TRANSP)(jobtag = NFC)
+  &(action = cancel information signal)(jobowner = self)
+`, "VO:P8")
+	reg := core.NewRegistry()
+	reg.Bind(core.CalloutGatekeeper, &latencyPDP{
+		inner: &core.PolicyPDP{Policy: pol},
+		delay: 200 * time.Microsecond,
+	})
+	gk, err := gram.NewGatekeeper(gram.Config{
+		Credential:  gkCred,
+		Trust:       trust,
+		GridMap:     gmap,
+		Registry:    reg,
+		Mode:        gram.AuthzCallout,
+		Placement:   gram.PlacementGatekeeper,
+		Cluster:     jobcontrol.NewCluster(1 << 20),
+		ConnWorkers: 16,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	go func() { _ = gk.Serve(l) }()
+	b.Cleanup(gk.Close)
+
+	newClient := func() *gram.Client {
+		c := gram.NewClient(l.Addr().String(), proxy, trust)
+		b.Cleanup(c.Close)
+		return c
+	}
+	c := newClient()
+	contact, err := c.Submit(benchAnalystJob, "")
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	statusWorkers := func(b *testing.B, clients []*gram.Client, inflight int) {
+		b.Helper()
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < inflight; w++ {
+			cl := clients[w%len(clients)]
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for next.Add(1) <= int64(b.N) {
+					if _, err := cl.Status(contact); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+	}
+
+	for _, inflight := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("one-conn/inflight=%d", inflight), func(b *testing.B) {
+			statusWorkers(b, []*gram.Client{c}, inflight)
+		})
+	}
+	b.Run("conns=4/inflight=4", func(b *testing.B) {
+		clients := make([]*gram.Client, 4)
+		for i := range clients {
+			clients[i] = newClient()
+			if _, err := clients[i].Status(contact); err != nil { // connect outside the timer
+				b.Fatal(err)
+			}
+		}
+		b.ResetTimer()
+		statusWorkers(b, clients, 4)
 	})
 }
 

@@ -62,6 +62,10 @@ func run(args []string) error {
 	authzCache := fs.Bool("authz-cache", false, "cache callout decisions (sharded TTL decision cache)")
 	authzCacheTTL := fs.Duration("authz-cache-ttl", 5*time.Second, "decision cache entry lifetime (capped at 60s)")
 	authzCacheShards := fs.Int("authz-cache-shards", 16, "decision cache shard count")
+	ticketLifetime := fs.Duration("ticket-lifetime", 0, "GSI session resumption ticket lifetime (0 = default 10m, negative disables resumption)")
+	connWorkers := fs.Int("conn-workers", 0, "max concurrent requests per multiplexed connection (0 = default 8)")
+	handshakeTimeout := fs.Duration("handshake-timeout", 0, "GSI handshake deadline on accepted connections (0 = default 10s, negative disables)")
+	idleTimeout := fs.Duration("idle-timeout", 0, "idle connection timeout (0 = default 5m, negative disables)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -162,15 +166,19 @@ func run(args []string) error {
 
 	cluster := jobcontrol.NewCluster(*cpus)
 	gk, err := gram.NewGatekeeper(gram.Config{
-		Credential:      gkCred,
-		Trust:           trust,
-		GridMap:         gmap,
-		Accounts:        acctMgr,
-		DynamicAccounts: *dynamic,
-		Registry:        reg,
-		Mode:            gkMode,
-		Placement:       gkPlacement,
-		Cluster:         cluster,
+		Credential:       gkCred,
+		Trust:            trust,
+		GridMap:          gmap,
+		Accounts:         acctMgr,
+		DynamicAccounts:  *dynamic,
+		Registry:         reg,
+		Mode:             gkMode,
+		Placement:        gkPlacement,
+		Cluster:          cluster,
+		TicketLifetime:   *ticketLifetime,
+		ConnWorkers:      *connWorkers,
+		HandshakeTimeout: *handshakeTimeout,
+		IdleTimeout:      *idleTimeout,
 	})
 	if err != nil {
 		return err

@@ -186,6 +186,20 @@ type ResourceConfig struct {
 	TamperJMI bool
 	// DefaultPriority is the scheduler priority for unprioritized jobs.
 	DefaultPriority int
+	// SessionTicketLifetime bounds the GSI session-resumption tickets
+	// the gatekeeper issues after full handshakes (0 selects
+	// gsi.DefaultTicketLifetime; negative disables resumption).
+	SessionTicketLifetime time.Duration
+	// ConnWorkers bounds concurrent request processing per multiplexed
+	// client connection (0 selects 8).
+	ConnWorkers int
+	// HandshakeTimeout bounds the gatekeeper-side GSI handshake on an
+	// accepted connection (0 selects 10s; negative disables).
+	HandshakeTimeout time.Duration
+	// IdleTimeout closes authenticated connections with no client
+	// traffic (0 selects 5m; negative disables). Subscription streams
+	// are exempt.
+	IdleTimeout time.Duration
 }
 
 // Resource is a running GRAM endpoint.
@@ -324,18 +338,22 @@ func (f *Fabric) StartResource(cfg ResourceConfig) (*Resource, error) {
 		gkPlacement = gram.PlacementGatekeeper
 	}
 	gramCfg := gram.Config{
-		Credential:      gkCred,
-		Trust:           f.Trust,
-		VOCerts:         voCerts,
-		GridMap:         gmap,
-		Accounts:        acctMgr,
-		DynamicAccounts: cfg.DynamicAccounts,
-		Registry:        reg,
-		Mode:            gkMode,
-		Placement:       gkPlacement,
-		Cluster:         cluster,
-		DefaultPriority: cfg.DefaultPriority,
-		TamperJMI:       cfg.TamperJMI,
+		Credential:       gkCred,
+		Trust:            f.Trust,
+		VOCerts:          voCerts,
+		GridMap:          gmap,
+		Accounts:         acctMgr,
+		DynamicAccounts:  cfg.DynamicAccounts,
+		Registry:         reg,
+		Mode:             gkMode,
+		Placement:        gkPlacement,
+		Cluster:          cluster,
+		DefaultPriority:  cfg.DefaultPriority,
+		TamperJMI:        cfg.TamperJMI,
+		TicketLifetime:   cfg.SessionTicketLifetime,
+		ConnWorkers:      cfg.ConnWorkers,
+		HandshakeTimeout: cfg.HandshakeTimeout,
+		IdleTimeout:      cfg.IdleTimeout,
 	}
 	if cfg.Allocation != nil {
 		cfg.Allocation.Attach(cluster)

@@ -209,14 +209,9 @@ func terminalState(s JobState) bool {
 // state or the watch stops) and a stop function. The first value is the
 // job's current state.
 func (c *Client) Watch(contact string) (<-chan JobState, func(), error) {
-	conn, err := net.Dial("tcp", c.addr)
+	conn, br, _, err := c.dial()
 	if err != nil {
-		return nil, nil, fmt.Errorf("gram: dial %s: %w", c.addr, err)
-	}
-	_, br, err := c.auth.Handshake(conn)
-	if err != nil {
-		conn.Close()
-		return nil, nil, fmt.Errorf("gram: authenticate: %w", err)
+		return nil, nil, err
 	}
 	if err := WriteMessage(conn, &Message{Type: MsgSubscribe, JobContact: contact}); err != nil {
 		conn.Close()

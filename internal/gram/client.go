@@ -24,83 +24,203 @@ type JobStatus struct {
 // Client is the GRAM client library (the globusrun role): it
 // authenticates to a gatekeeper with the user's (proxy) credential and VO
 // assertions, submits jobs and issues management requests.
+//
+// Against a protocol-version-2 gatekeeper (FeatureMux, negotiated in the
+// GSI handshake) the client multiplexes: concurrent calls share one
+// authenticated connection, correlated by Message.ID, with a demux
+// goroutine routing replies to their callers. Against an older server it
+// falls back to the version-1 strictly-serial conversation. Connections
+// are additionally established by GSI session resumption where possible
+// (see gsi.SessionCache), so reconnecting skips chain verification.
 type Client struct {
-	addr string
-	auth *gsi.Authenticator
+	addr     string
+	auth     *gsi.Authenticator
+	sessions *gsi.SessionCache
 
-	mu   sync.Mutex
-	conn net.Conn
-	br   *bufio.Reader
+	// mu guards the connection lifecycle, the pending map and — on a
+	// version-1 connection — the whole round trip.
+	mu      sync.Mutex
+	conn    net.Conn
+	br      *bufio.Reader
+	mux     bool
+	resumed bool
+	gen     int // connection generation, so a stale teardown is a no-op
+	nextID  uint64
+	pending map[uint64]chan *Message
+
+	// writeMu serializes frame writes on a multiplexed connection.
+	writeMu sync.Mutex
 }
 
 // NewClient creates a client for the gatekeeper at addr, authenticating
 // with cred and presenting the given VO assertions.
 func NewClient(addr string, cred *gsi.Credential, trust *gsi.TrustStore, assertions ...*gsi.Assertion) *Client {
-	opts := []gsi.AuthOption{}
+	sessions := gsi.NewSessionCache()
+	opts := []gsi.AuthOption{
+		gsi.WithSessionCache(sessions),
+		gsi.WithFeatures(FeatureMux),
+	}
 	if len(assertions) > 0 {
 		opts = append(opts, gsi.WithAssertions(assertions...))
 	}
 	return &Client{
-		addr: addr,
-		auth: gsi.NewAuthenticator(cred, trust, opts...),
+		addr:     addr,
+		auth:     gsi.NewAuthenticator(cred, trust, opts...),
+		sessions: sessions,
+		pending:  make(map[uint64]chan *Message),
 	}
 }
 
-// connect establishes (or reuses) the authenticated channel.
+// dial establishes a new authenticated connection, resuming a cached
+// GSI session when possible. A resumption attempt that dies mid-protocol
+// (say, the server restarted and lost its ticket key *and* the
+// connection) is retried once on a fresh connection; the failed attempt
+// already invalidated the session, so the retry runs a full handshake.
+func (c *Client) dial() (net.Conn, *bufio.Reader, *gsi.Peer, error) {
+	for attempt := 0; ; attempt++ {
+		conn, err := net.Dial("tcp", c.addr)
+		if err != nil {
+			return nil, nil, nil, fmt.Errorf("gram: dial %s: %w", c.addr, err)
+		}
+		peer, br, err := c.auth.HandshakeClient(conn, c.addr)
+		if err == nil {
+			return conn, br, peer, nil
+		}
+		conn.Close()
+		if attempt == 0 && errors.Is(err, gsi.ErrResumeFailed) {
+			continue
+		}
+		return nil, nil, nil, fmt.Errorf("gram: authenticate to %s: %w", c.addr, err)
+	}
+}
+
+// connect establishes (or reuses) the authenticated channel. Caller
+// holds c.mu.
 func (c *Client) connect() error {
 	if c.conn != nil {
 		return nil
 	}
-	conn, err := net.Dial("tcp", c.addr)
+	conn, br, peer, err := c.dial()
 	if err != nil {
-		return fmt.Errorf("gram: dial %s: %w", c.addr, err)
-	}
-	_, br, err := c.auth.Handshake(conn)
-	if err != nil {
-		conn.Close()
-		return fmt.Errorf("gram: authenticate to %s: %w", c.addr, err)
+		return err
 	}
 	c.conn = conn
 	c.br = br
+	c.mux = peer.HasFeature(FeatureMux)
+	c.resumed = peer.Resumed
+	c.gen++
+	if c.mux {
+		go c.readLoop(br, c.gen)
+	}
 	return nil
+}
+
+// readLoop demultiplexes replies on a version-2 connection, routing each
+// to the caller registered under its ID. On read failure it tears down
+// its own generation of the connection, which fails all in-flight calls.
+func (c *Client) readLoop(br *bufio.Reader, gen int) {
+	for {
+		m, err := ReadMessage(br)
+		if err != nil {
+			c.teardown(gen)
+			return
+		}
+		c.mu.Lock()
+		ch, ok := c.pending[m.ID]
+		if ok {
+			delete(c.pending, m.ID)
+		}
+		c.mu.Unlock()
+		if ok {
+			ch <- m
+		}
+	}
+}
+
+// teardown resets the connection if it is still generation gen; a newer
+// connection is left alone.
+func (c *Client) teardown(gen int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.gen == gen {
+		c.resetLocked()
+	}
 }
 
 // Close tears down the connection.
 func (c *Client) Close() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if c.conn != nil {
-		_ = c.conn.Close()
-		c.conn = nil
-		c.br = nil
-	}
+	c.resetLocked()
 }
 
-// roundTrip sends one message and reads one reply.
-func (c *Client) roundTrip(m *Message) (*Message, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if err := c.connect(); err != nil {
-		return nil, err
-	}
-	if err := WriteMessage(c.conn, m); err != nil {
-		c.resetLocked()
-		return nil, err
-	}
-	reply, err := ReadMessage(c.br)
-	if err != nil {
-		c.resetLocked()
-		return nil, fmt.Errorf("gram: read reply: %w", err)
-	}
-	return reply, nil
-}
-
+// resetLocked drops the connection state; pending multiplexed callers
+// observe their reply channel closing.
 func (c *Client) resetLocked() {
 	if c.conn != nil {
 		_ = c.conn.Close()
-		c.conn = nil
-		c.br = nil
 	}
+	c.conn = nil
+	c.br = nil
+	c.mux = false
+	c.resumed = false
+	for id, ch := range c.pending {
+		delete(c.pending, id)
+		close(ch)
+	}
+}
+
+// Resumed reports whether the client's current connection was
+// authenticated by GSI session resumption rather than a full handshake
+// (observability hook; false when disconnected).
+func (c *Client) Resumed() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.conn != nil && c.resumed
+}
+
+// roundTrip sends one message and reads its reply. On a multiplexed
+// connection any number of round trips proceed concurrently; on a
+// version-1 connection they serialize under c.mu.
+func (c *Client) roundTrip(m *Message) (*Message, error) {
+	c.mu.Lock()
+	if err := c.connect(); err != nil {
+		c.mu.Unlock()
+		return nil, err
+	}
+	if !c.mux {
+		defer c.mu.Unlock()
+		if err := WriteMessage(c.conn, m); err != nil {
+			c.resetLocked()
+			return nil, err
+		}
+		reply, err := ReadMessage(c.br)
+		if err != nil {
+			c.resetLocked()
+			return nil, fmt.Errorf("gram: read reply: %w", err)
+		}
+		return reply, nil
+	}
+	c.nextID++
+	m.ID = c.nextID
+	ch := make(chan *Message, 1)
+	c.pending[m.ID] = ch
+	conn := c.conn
+	gen := c.gen
+	c.mu.Unlock()
+
+	c.writeMu.Lock()
+	err := WriteMessage(conn, m)
+	c.writeMu.Unlock()
+	if err != nil {
+		c.teardown(gen)
+		return nil, err
+	}
+	reply, ok := <-ch
+	if !ok {
+		return nil, errors.New("gram: connection lost awaiting reply")
+	}
+	return reply, nil
 }
 
 // Submit sends a job request with the given RSL text and optional

@@ -59,6 +59,7 @@ type envOpts struct {
 	tamper    bool
 	dynamic   bool
 	registry  func(*core.Registry)
+	tune      func(*Config) // last-minute gatekeeper Config adjustments
 }
 
 func newEnv(t *testing.T, o envOpts) *env {
@@ -107,7 +108,7 @@ func newEnv(t *testing.T, o envOpts) *env {
 	}
 
 	cluster := jobcontrol.NewCluster(16)
-	gk, err := NewGatekeeper(Config{
+	cfg := Config{
 		Credential:      gkCred,
 		Trust:           trust,
 		GridMap:         gmap,
@@ -118,7 +119,11 @@ func newEnv(t *testing.T, o envOpts) *env {
 		Placement:       o.placement,
 		Cluster:         cluster,
 		TamperJMI:       o.tamper,
-	})
+	}
+	if o.tune != nil {
+		o.tune(&cfg)
+	}
+	gk, err := NewGatekeeper(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,358 @@
+package gram
+
+import (
+	"bufio"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"gridauth/internal/gsi"
+)
+
+// rawConn dials the env gatekeeper and authenticates with the old
+// symmetric handshake — a protocol-version-1 client: no feature
+// announcement, no message IDs, strictly serial request/reply.
+func rawConn(t *testing.T, e *env, dn gsi.DN) (net.Conn, *bufio.Reader) {
+	t.Helper()
+	cred, ok := e.creds[dn]
+	if !ok {
+		t.Fatalf("no credential for %s", dn)
+	}
+	proxy, err := gsi.Delegate(cred, time.Hour, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := net.Dial("tcp", e.addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	_, br, err := gsi.NewAuthenticator(proxy, e.trust).Handshake(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return conn, br
+}
+
+// TestLegacyClientAgainstMuxServer is the version-negotiation proof: an
+// old client that never heard of FeatureMux or message IDs completes a
+// full submit/status/cancel conversation against the new gatekeeper.
+func TestLegacyClientAgainstMuxServer(t *testing.T) {
+	e := newEnv(t, envOpts{mode: AuthzLegacy})
+	conn, br := rawConn(t, e, boDN)
+
+	if err := WriteMessage(conn, &Message{Type: MsgJobRequest, RSL: boJob}); err != nil {
+		t.Fatal(err)
+	}
+	reply, err := ReadMessage(br)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.Err != nil {
+		t.Fatal(reply.Err)
+	}
+	if reply.ID != 0 {
+		t.Fatalf("server put ID %d on a reply to an ID-less client", reply.ID)
+	}
+	contact := reply.Contact
+	if contact == "" {
+		t.Fatal("submit reply carried no job contact")
+	}
+
+	if err := WriteMessage(conn, &Message{Type: MsgManage, JobContact: contact, Action: ManageStatus}); err != nil {
+		t.Fatal(err)
+	}
+	reply, err = ReadMessage(br)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.Err != nil {
+		t.Fatal(reply.Err)
+	}
+	if reply.State == "" || reply.ID != 0 {
+		t.Fatalf("status reply state=%q id=%d", reply.State, reply.ID)
+	}
+
+	if err := WriteMessage(conn, &Message{Type: MsgManage, JobContact: contact, Action: ManageCancel}); err != nil {
+		t.Fatal(err)
+	}
+	reply, err = ReadMessage(br)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.Err != nil {
+		t.Fatal(reply.Err)
+	}
+}
+
+// TestMultiplexedConcurrentManagement hammers one shared connection with
+// concurrent status requests against two jobs held in different states.
+// A demultiplexing bug (a reply routed to the wrong caller) surfaces as
+// the wrong job's state.
+func TestMultiplexedConcurrentManagement(t *testing.T) {
+	e := newEnv(t, envOpts{mode: AuthzLegacy})
+	bo := e.client(boDN)
+
+	contactA, err := bo.Submit(boJob, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	contactB, err := bo.Submit(boJob, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bo.Cancel(contactB); err != nil {
+		t.Fatal(err)
+	}
+
+	bo.mu.Lock()
+	mux := bo.mux
+	bo.mu.Unlock()
+	if !mux {
+		t.Fatal("client did not negotiate a multiplexed connection")
+	}
+
+	stA, err := bo.Status(contactA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stA.State == StateCanceled {
+		t.Fatal("job A unexpectedly canceled")
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 40; i++ {
+				sA, err := bo.Status(contactA)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if sA.State != stA.State {
+					t.Errorf("job A state %q, want %q (misrouted reply?)", sA.State, stA.State)
+					return
+				}
+				sB, err := bo.Status(contactB)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if sB.State != StateCanceled {
+					t.Errorf("job B state %q, want %q (misrouted reply?)", sB.State, StateCanceled)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestOversizedMessageTerminatesCleanly sends a frame over
+// MaxMessageSize: the server must report the error (framing is lost, so
+// the connection closes) without disturbing service for other clients.
+func TestOversizedMessageTerminatesCleanly(t *testing.T) {
+	e := newEnv(t, envOpts{mode: AuthzLegacy})
+	conn, br := rawConn(t, e, boDN)
+
+	big := make([]byte, MaxMessageSize+64)
+	for i := range big {
+		big[i] = 'a'
+	}
+	big[len(big)-1] = '\n'
+	// The server stops reading mid-line, so this write may die with a
+	// reset; that is part of the expected teardown.
+	_, _ = conn.Write(big)
+
+	// Either the error reply arrives or the connection is already gone —
+	// both are clean terminations. What must not happen is the server
+	// keeping the desynced stream in service.
+	_ = conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	reply, err := ReadMessage(br)
+	if err == nil {
+		if reply.Err == nil {
+			t.Fatalf("oversized frame got a success reply: %+v", reply)
+		}
+		if reply.Err.Code != CodeInternal {
+			t.Fatalf("oversized frame error code = %v, want %v", reply.Err.Code, CodeInternal)
+		}
+		if _, err := ReadMessage(br); err == nil {
+			t.Fatal("connection still serving after framing loss")
+		}
+	}
+
+	// The gatekeeper itself is unharmed.
+	bo := e.client(boDN)
+	if _, err := bo.Submit(boJob, ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMalformedMessageKeepsConnection sends an undecodable but complete
+// frame: framing survives, so the server replies with an error and the
+// same connection keeps working.
+func TestMalformedMessageKeepsConnection(t *testing.T) {
+	e := newEnv(t, envOpts{mode: AuthzLegacy})
+	conn, br := rawConn(t, e, boDN)
+
+	if _, err := conn.Write([]byte("this is not json\n")); err != nil {
+		t.Fatal(err)
+	}
+	reply, err := ReadMessage(br)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.Err == nil || reply.Err.Code != CodeBadRSL {
+		t.Fatalf("malformed frame reply: %+v", reply)
+	}
+
+	if err := WriteMessage(conn, &Message{Type: MsgJobRequest, RSL: boJob}); err != nil {
+		t.Fatal(err)
+	}
+	reply, err = ReadMessage(br)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.Err != nil {
+		t.Fatal(reply.Err)
+	}
+	if reply.Contact == "" {
+		t.Fatal("valid request after malformed frame got no contact")
+	}
+}
+
+// TestHandshakeDeadlineFreesStalledConn connects and sends nothing: the
+// handshake deadline must close the connection instead of pinning a
+// gatekeeper goroutine forever.
+func TestHandshakeDeadlineFreesStalledConn(t *testing.T) {
+	e := newEnv(t, envOpts{mode: AuthzLegacy, tune: func(c *Config) {
+		c.HandshakeTimeout = 150 * time.Millisecond
+	}})
+	conn, err := net.Dial("tcp", e.addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	_ = conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	buf := make([]byte, 1)
+	_, err = conn.Read(buf)
+	if err == nil {
+		t.Fatal("server sent data to a silent client")
+	}
+	if isTimeout(err) {
+		t.Fatal("server never closed the stalled connection")
+	}
+}
+
+// TestIdleTimeoutAndResumedReconnect lets the server idle the client's
+// connection out, then issues another request: the client must
+// transparently reconnect — via GSI session resumption, because the
+// first handshake granted a ticket.
+func TestIdleTimeoutAndResumedReconnect(t *testing.T) {
+	e := newEnv(t, envOpts{mode: AuthzLegacy, tune: func(c *Config) {
+		c.IdleTimeout = 150 * time.Millisecond
+	}})
+	bo := e.client(boDN)
+	contact, err := bo.Submit(boJob, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The idle timeout fires server-side; the client's demux loop sees
+	// the close and resets its connection state.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		bo.mu.Lock()
+		gone := bo.conn == nil
+		bo.mu.Unlock()
+		if gone {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("idle connection was never closed")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	st, err := bo.Status(contact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Owner != boDN {
+		t.Fatalf("status owner = %s, want %s", st.Owner, boDN)
+	}
+	if !bo.Resumed() {
+		t.Fatal("reconnect did not use session resumption")
+	}
+}
+
+// TestSubscriptionExemptFromIdleTimeout: a quiet watch stream must
+// outlive the idle timeout — it is server-push by design.
+func TestSubscriptionExemptFromIdleTimeout(t *testing.T) {
+	e := newEnv(t, envOpts{mode: AuthzLegacy, tune: func(c *Config) {
+		c.IdleTimeout = 150 * time.Millisecond
+	}})
+	bo := e.client(boDN)
+	contact, err := bo.Submit(boJob, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	states, stop, err := bo.Watch(contact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	if s, ok := <-states; !ok {
+		t.Fatal("watch stream closed before the first state")
+	} else if s == StateCanceled {
+		t.Fatalf("initial state %q", s)
+	}
+
+	time.Sleep(400 * time.Millisecond) // several idle periods of silence
+
+	if err := bo.Cancel(contact); err != nil {
+		t.Fatal(err)
+	}
+	timeout := time.After(5 * time.Second)
+	for {
+		select {
+		case s, ok := <-states:
+			if !ok {
+				t.Fatal("watch stream died during the idle period")
+			}
+			if s == StateCanceled {
+				return
+			}
+		case <-timeout:
+			t.Fatal("cancel never reached the subscriber")
+		}
+	}
+}
+
+// TestReconnectAfterClose proves recovery after an explicit reset: the
+// next call re-dials and resumes the GSI session from the cached ticket.
+func TestReconnectAfterClose(t *testing.T) {
+	e := newEnv(t, envOpts{mode: AuthzLegacy})
+	bo := e.client(boDN)
+	contact, err := bo.Submit(boJob, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bo.Resumed() {
+		t.Fatal("first connection cannot have been resumed")
+	}
+	bo.Close()
+	st, err := bo.Status(contact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State == "" {
+		t.Fatal("status reply carried no state")
+	}
+	if !bo.Resumed() {
+		t.Fatal("reconnect did not resume the GSI session")
+	}
+}

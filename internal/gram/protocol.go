@@ -18,8 +18,33 @@ package gram
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+)
+
+// FeatureMux is the capability string announced in the GSI handshake
+// hello by peers that speak protocol version 2: request/reply
+// correlation via Message.ID, allowing many in-flight requests to share
+// one authenticated connection. Version-1 peers (which announce
+// nothing) get the original strictly-serial conversation.
+const FeatureMux = "gram-mux/2"
+
+// MaxMessageSize caps one framed wire message. The newline-delimited
+// JSON framing would otherwise let a misbehaving peer balloon server
+// memory with a single unbounded line.
+const MaxMessageSize = 1 << 20
+
+// Wire framing errors.
+var (
+	// ErrMessageTooLarge reports a frame exceeding MaxMessageSize. The
+	// stream has lost framing (the rest of the oversized line was never
+	// consumed), so the connection must be torn down after reporting.
+	ErrMessageTooLarge = errors.New("gram: message exceeds size limit")
+	// ErrMalformedMessage reports a complete frame that failed to
+	// decode. Framing is intact, so the connection can carry on after
+	// an error reply.
+	ErrMalformedMessage = errors.New("gram: malformed message")
 )
 
 // Code is a GRAM protocol error code.
@@ -120,6 +145,12 @@ const (
 type Message struct {
 	Type string `json:"type"`
 
+	// ID correlates a reply with its request on a multiplexed
+	// connection (protocol version 2, negotiated via FeatureMux in the
+	// GSI handshake hello). Zero on version-1 conversations, where
+	// strict request/reply ordering makes correlation implicit.
+	ID uint64 `json:"id,omitempty"`
+
 	// Job request fields.
 	RSL     string `json:"rsl,omitempty"`
 	Account string `json:"account,omitempty"`
@@ -151,15 +182,28 @@ func WriteMessage(w io.Writer, m *Message) error {
 	return nil
 }
 
-// ReadMessage reads one framed message.
+// ReadMessage reads one framed message. It returns ErrMessageTooLarge
+// for frames over MaxMessageSize (connection unusable afterwards) and
+// ErrMalformedMessage for complete frames that fail to decode
+// (connection still usable).
 func ReadMessage(br *bufio.Reader) (*Message, error) {
-	line, err := br.ReadBytes('\n')
-	if err != nil {
-		return nil, err
+	var line []byte
+	for {
+		frag, err := br.ReadSlice('\n')
+		line = append(line, frag...)
+		if len(line) > MaxMessageSize {
+			return nil, ErrMessageTooLarge
+		}
+		if err == nil {
+			break
+		}
+		if err != bufio.ErrBufferFull {
+			return nil, err
+		}
 	}
 	var m Message
 	if err := json.Unmarshal(line, &m); err != nil {
-		return nil, fmt.Errorf("decode message: %w", err)
+		return nil, fmt.Errorf("%w: %v", ErrMalformedMessage, err)
 	}
 	return &m, nil
 }

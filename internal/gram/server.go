@@ -95,6 +95,24 @@ type Config struct {
 	// local scheduler), so reservations made at admission can be
 	// released.
 	OnJobAborted func(jobContact string)
+	// TicketLifetime bounds the GSI session-resumption tickets issued
+	// after full handshakes (0 selects gsi.DefaultTicketLifetime;
+	// negative disables resumption). Individual tickets are further
+	// clamped to the client credential's remaining validity.
+	TicketLifetime time.Duration
+	// ConnWorkers bounds concurrent request processing per multiplexed
+	// connection (0 selects 8). Excess requests queue in arrival order;
+	// version-1 connections are inherently serial.
+	ConnWorkers int
+	// HandshakeTimeout bounds the GSI handshake on an accepted
+	// connection (0 selects 10s; negative disables), so a client that
+	// connects and stalls cannot pin a gatekeeper goroutine.
+	HandshakeTimeout time.Duration
+	// IdleTimeout closes an authenticated connection that carries no
+	// client traffic for the duration (0 selects 5m; negative
+	// disables). Subscription streams are exempt: they are
+	// server-push by design.
+	IdleTimeout time.Duration
 }
 
 // Gatekeeper is the resource-side GRAM daemon: it authenticates clients,
@@ -144,9 +162,25 @@ func NewGatekeeper(cfg Config) (*Gatekeeper, error) {
 	if cfg.DynamicLease == 0 {
 		cfg.DynamicLease = 8 * time.Hour
 	}
-	opts := []gsi.AuthOption{}
+	if cfg.ConnWorkers <= 0 {
+		cfg.ConnWorkers = 8
+	}
+	if cfg.HandshakeTimeout == 0 {
+		cfg.HandshakeTimeout = 10 * time.Second
+	}
+	if cfg.IdleTimeout == 0 {
+		cfg.IdleTimeout = 5 * time.Minute
+	}
+	opts := []gsi.AuthOption{gsi.WithFeatures(FeatureMux)}
 	for _, c := range cfg.VOCerts {
 		opts = append(opts, gsi.WithVOCert(c))
+	}
+	if cfg.TicketLifetime >= 0 {
+		issuer, err := gsi.NewTicketIssuer(cfg.TicketLifetime)
+		if err != nil {
+			return nil, fmt.Errorf("gram: %w", err)
+		}
+		opts = append(opts, gsi.WithTicketIssuer(issuer))
 	}
 	baseCtx, cancelBase := context.WithCancel(context.Background())
 	return &Gatekeeper{
@@ -241,49 +275,123 @@ func (g *Gatekeeper) Job(contact string) (*JMI, bool) {
 func (g *Gatekeeper) handleConn(conn net.Conn) {
 	defer conn.Close()
 	defer g.track(conn)()
-	peer, br, err := g.auth.Handshake(conn)
+	if g.cfg.HandshakeTimeout > 0 {
+		_ = conn.SetDeadline(time.Now().Add(g.cfg.HandshakeTimeout))
+	}
+	peer, br, err := g.auth.HandshakeAccept(conn)
 	if err != nil {
 		// The handshake failed; there is no authenticated channel to
 		// report the error on, matching GT2 behaviour.
 		return
 	}
+	_ = conn.SetDeadline(time.Time{})
+
+	// A version-2 peer gets a bounded worker pool so many requests on
+	// the one connection are served concurrently; a version-1 peer gets
+	// the original serial loop (it could not correlate replies anyway).
+	mux := peer.HasFeature(FeatureMux)
+	var (
+		writeMu  sync.Mutex
+		inflight sync.WaitGroup
+		workers  chan struct{}
+	)
+	if mux {
+		workers = make(chan struct{}, g.cfg.ConnWorkers)
+	}
+	defer inflight.Wait()
+	write := func(m *Message) error {
+		writeMu.Lock()
+		defer writeMu.Unlock()
+		return WriteMessage(conn, m)
+	}
 	for {
+		if g.cfg.IdleTimeout > 0 {
+			_ = conn.SetReadDeadline(time.Now().Add(g.cfg.IdleTimeout))
+		}
 		msg, err := ReadMessage(br)
 		if err != nil {
-			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
-				_ = WriteMessage(conn, &Message{
+			switch {
+			case errors.Is(err, ErrMalformedMessage):
+				// The frame was complete but undecodable; framing is
+				// intact, so report the error and keep serving.
+				if write(&Message{
+					Type: MsgJobReply,
+					Err:  &ProtoError{Code: CodeBadRSL, Message: err.Error()},
+				}) == nil {
+					continue
+				}
+				return
+			case errors.Is(err, ErrMessageTooLarge):
+				// Framing is lost (the rest of the oversized line was
+				// never consumed): report, then hang up.
+				_ = write(&Message{
 					Type: MsgJobReply,
 					Err:  &ProtoError{Code: CodeInternal, Message: err.Error()},
 				})
+				return
+			case errors.Is(err, io.EOF), errors.Is(err, net.ErrClosed), isTimeout(err):
+				return
+			default:
+				_ = write(&Message{
+					Type: MsgJobReply,
+					Err:  &ProtoError{Code: CodeInternal, Message: err.Error()},
+				})
+				return
 			}
-			return
 		}
-		// Each message gets its own context rooted in the daemon's, so
-		// policy evaluation for one request is cancellable independently
-		// and everything stops when the gatekeeper closes.
-		reqCtx, cancelReq := context.WithCancel(g.baseCtx)
-		var reply *Message
-		switch msg.Type {
-		case MsgJobRequest:
-			reply = g.handleJobRequest(reqCtx, peer, msg)
-		case MsgManage:
-			reply = g.handleManage(reqCtx, peer, msg)
-		case MsgSubscribe:
-			// Subscriptions take over the connection for streaming.
-			cancelReq()
+		if msg.Type == MsgSubscribe {
+			// Subscriptions take over the connection for streaming: let
+			// in-flight replies drain, then lift the idle deadline — the
+			// stream is server-push and a quiet subscriber is not idle.
+			inflight.Wait()
+			_ = conn.SetReadDeadline(time.Time{})
 			g.handleSubscribe(peer, msg, conn)
 			return
-		default:
-			reply = &Message{
-				Type: MsgManageReply,
-				Err:  &ProtoError{Code: CodeInternal, Message: fmt.Sprintf("unknown message type %q", msg.Type)},
-			}
 		}
-		cancelReq()
-		if err := WriteMessage(conn, reply); err != nil {
-			return
+		if !mux {
+			if write(g.dispatch(peer, msg)) != nil {
+				return
+			}
+			continue
+		}
+		workers <- struct{}{} // backpressure: block reads at the pool bound
+		inflight.Add(1)
+		go func(msg *Message) {
+			defer inflight.Done()
+			defer func() { <-workers }()
+			reply := g.dispatch(peer, msg)
+			reply.ID = msg.ID
+			_ = write(reply)
+		}(msg)
+	}
+}
+
+// dispatch authorizes and executes one request message, returning the
+// reply (never nil). Each message gets its own context rooted in the
+// daemon's, so policy evaluation for one request is cancellable
+// independently and everything stops when the gatekeeper closes.
+func (g *Gatekeeper) dispatch(peer *Peer, msg *Message) *Message {
+	reqCtx, cancelReq := context.WithCancel(g.baseCtx)
+	defer cancelReq()
+	switch msg.Type {
+	case MsgJobRequest:
+		return g.handleJobRequest(reqCtx, peer, msg)
+	case MsgManage:
+		return g.handleManage(reqCtx, peer, msg)
+	default:
+		return &Message{
+			Type: MsgManageReply,
+			Err:  &ProtoError{Code: CodeInternal, Message: fmt.Sprintf("unknown message type %q", msg.Type)},
 		}
 	}
+}
+
+// isTimeout reports whether err is a network deadline expiry (the idle
+// timeout firing), which warrants a silent close rather than an error
+// reply.
+func isTimeout(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
 }
 
 // handleJobRequest implements the Figure 1/2 startup path:

@@ -2,6 +2,8 @@ package gsi
 
 import (
 	"bufio"
+	"bytes"
+	"crypto/hmac"
 	"crypto/rand"
 	"encoding/json"
 	"errors"
@@ -17,12 +19,47 @@ var (
 
 const nonceLen = 32
 
-// handshakeMsg is one leg of the mutual-authentication exchange.
+// maxHandshakeMsg caps one handshake leg on the wire. A peer must not be
+// able to balloon memory before it has authenticated; real chains,
+// assertion sets and tickets are a few KB.
+const maxHandshakeMsg = 1 << 20
+
+// FeatureResume is the capability string announced in the hello when a
+// side supports session resumption. It is announced automatically by
+// HandshakeClient (when a SessionCache is configured) and by
+// HandshakeAccept (when a TicketIssuer is configured); application
+// protocols register their own capabilities with WithFeatures.
+const FeatureResume = "gsi-resume/1"
+
+// handshakeMsg is one leg of the authentication exchange. Fields are
+// optional per leg; unknown fields are ignored by older peers (JSON), so
+// new capabilities degrade gracefully.
 type handshakeMsg struct {
-	Chain      []*Certificate `json:"chain"`
-	Nonce      []byte         `json:"nonce"`               // challenge for the peer
+	Chain      []*Certificate `json:"chain,omitempty"`
+	Nonce      []byte         `json:"nonce,omitempty"`     // challenge for the peer
 	Signature  []byte         `json:"signature,omitempty"` // over the peer's nonce
 	Assertions []*Assertion   `json:"assertions,omitempty"`
+
+	// Features carries capability negotiation: FeatureResume plus any
+	// application-level strings registered via WithFeatures. Absent on
+	// old peers, which is equivalent to "no optional features".
+	Features []string `json:"features,omitempty"`
+
+	// Session-resumption legs (see session.go).
+	ResumeTicket []byte       `json:"resumeTicket,omitempty"` // client hello: ticket being redeemed
+	ResumeOK     *bool        `json:"resumeOk,omitempty"`     // acceptor: ticket verdict
+	ResumeMAC    []byte       `json:"resumeMac,omitempty"`    // proof of session-secret possession
+	TicketGrant  *ticketGrant `json:"ticketGrant,omitempty"`  // acceptor: new ticket after a full handshake
+}
+
+// ticketGrant hands a freshly sealed ticket and its session secret to a
+// client at the end of a full handshake. It travels over the channel the
+// handshake just mutually authenticated, which is what makes disclosing
+// the secret to this client — and only this client — sound.
+type ticketGrant struct {
+	Ticket []byte    `json:"ticket"`
+	Secret []byte    `json:"secret"`
+	Expiry time.Time `json:"expiry"`
 }
 
 // Peer describes the authenticated remote side of a connection.
@@ -33,21 +70,46 @@ type Peer struct {
 	Subject DN
 	// Limited reports whether the peer authenticated with a limited proxy.
 	Limited bool
-	// Credential is the peer's verification-only credential.
+	// Credential is the peer's verification-only credential. Nil on
+	// resumed sessions: the chain was verified at the original full
+	// handshake and is not re-presented.
 	Credential *Credential
 	// Assertions are the VO attribute assertions the peer presented.
 	// Signature and holder verification has been performed; validity of
 	// the *contents* is the authorization layer's business.
 	Assertions []*Assertion
+	// Features are the capability strings the peer announced in its
+	// hello (protocol version negotiation).
+	Features []string
+	// Resumed reports whether this authentication was a one-round-trip
+	// ticket resumption rather than a full mutual handshake.
+	Resumed bool
+}
+
+// HasFeature reports whether the peer announced the capability f.
+func (p *Peer) HasFeature(f string) bool {
+	return hasFeature(p.Features, f)
+}
+
+func hasFeature(fs []string, f string) bool {
+	for _, v := range fs {
+		if v == f {
+			return true
+		}
+	}
+	return false
 }
 
 // Authenticator performs GSI-style mutual authentication over a stream.
 type Authenticator struct {
-	cred    *Credential
-	trust   *TrustStore
-	voCerts map[DN]*Certificate
-	now     func() time.Time
-	asserts []*Assertion
+	cred     *Credential
+	trust    *TrustStore
+	voCerts  map[DN]*Certificate
+	now      func() time.Time
+	asserts  []*Assertion
+	features []string
+	issuer   *TicketIssuer
+	sessions *SessionCache
 }
 
 // AuthOption configures an Authenticator.
@@ -67,6 +129,26 @@ func WithVOCert(cert *Certificate) AuthOption {
 // WithNow sets the authenticator's time source.
 func WithNow(now func() time.Time) AuthOption {
 	return func(a *Authenticator) { a.now = now }
+}
+
+// WithFeatures announces application-level capability strings in the
+// handshake hello (e.g. a protocol version). The peer's announced set is
+// reported on Peer.Features.
+func WithFeatures(fs ...string) AuthOption {
+	return func(a *Authenticator) { a.features = append(a.features, fs...) }
+}
+
+// WithTicketIssuer enables session resumption on the acceptor side:
+// HandshakeAccept grants tickets after full handshakes and redeems them
+// on later connections.
+func WithTicketIssuer(ti *TicketIssuer) AuthOption {
+	return func(a *Authenticator) { a.issuer = ti }
+}
+
+// WithSessionCache enables session resumption on the client side:
+// HandshakeClient stores granted tickets and resumes transparently.
+func WithSessionCache(sc *SessionCache) AuthOption {
+	return func(a *Authenticator) { a.sessions = sc }
 }
 
 // NewAuthenticator builds an authenticator for the local credential,
@@ -90,25 +172,23 @@ func NewAuthenticator(cred *Credential, trust *TrustStore, opts ...AuthOption) *
 // the verified peer and the buffered reader used for the exchange —
 // callers MUST continue reading from that reader, not from rw directly,
 // because it may already hold bytes of the next protocol message.
+//
+// The symmetric form never resumes sessions and never grants tickets
+// (neither side knows which of them would issue); protocols that want
+// resumption use the role-aware HandshakeClient / HandshakeAccept pair.
+// The forms interoperate: a symmetric caller against HandshakeAccept
+// (or vice versa) completes a full handshake.
 func (a *Authenticator) Handshake(rw io.ReadWriter) (*Peer, *bufio.Reader, error) {
 	br := bufio.NewReader(rw)
-	peer, err := a.handshake(rw, br)
+	nonce, err := newNonce()
 	if err != nil {
 		return nil, nil, err
-	}
-	return peer, br, nil
-}
-
-func (a *Authenticator) handshake(rw io.ReadWriter, br *bufio.Reader) (*Peer, error) {
-
-	nonce := make([]byte, nonceLen)
-	if _, err := rand.Read(nonce); err != nil {
-		return nil, fmt.Errorf("generate nonce: %w", err)
 	}
 	hello := handshakeMsg{
 		Chain:      a.cred.Public().Chain,
 		Nonce:      nonce,
 		Assertions: a.asserts,
+		Features:   a.features,
 	}
 	// Send and receive concurrently: the exchange is symmetric and both
 	// sides transmit first, so a synchronous transport (e.g. net.Pipe)
@@ -117,55 +197,413 @@ func (a *Authenticator) handshake(rw io.ReadWriter, br *bufio.Reader) (*Peer, er
 	go func() { sendErr <- writeJSON(rw, &hello) }()
 	var peerHello handshakeMsg
 	if err := readJSON(br, &peerHello); err != nil {
+		return nil, nil, fmt.Errorf("read peer hello: %w", err)
+	}
+	if err := <-sendErr; err != nil {
+		return nil, nil, fmt.Errorf("send hello: %w", err)
+	}
+	peer, peerCred, err := a.verifyPeerHello(&peerHello)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := a.proofExchange(rw, br, nonce, peerHello.Nonce, peerCred); err != nil {
+		return nil, nil, err
+	}
+	return peer, br, nil
+}
+
+// HandshakeAccept runs the acceptor side of a client/acceptor handshake:
+// it reads the client's hello first, so it can serve both full
+// handshakes and ticket resumptions (and remains compatible with old
+// symmetric clients, which also transmit their hello first). With a
+// TicketIssuer configured it grants a resumption ticket after every full
+// handshake with a resumption-capable client.
+func (a *Authenticator) HandshakeAccept(rw io.ReadWriter) (*Peer, *bufio.Reader, error) {
+	br := bufio.NewReader(rw)
+	peer, err := a.handshakeAccept(rw, br)
+	if err != nil {
+		return nil, nil, err
+	}
+	return peer, br, nil
+}
+
+func (a *Authenticator) handshakeAccept(rw io.ReadWriter, br *bufio.Reader) (*Peer, error) {
+	var clientHello handshakeMsg
+	if err := readJSON(br, &clientHello); err != nil {
+		return nil, fmt.Errorf("read peer hello: %w", err)
+	}
+
+	rejectedResume := false
+	if len(clientHello.ResumeTicket) > 0 {
+		peer, ok, err := a.acceptResume(rw, br, &clientHello)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			return peer, nil
+		}
+		rejectedResume = true
+	}
+
+	nonce, err := newNonce()
+	if err != nil {
+		return nil, err
+	}
+	hello := handshakeMsg{
+		Chain:      a.cred.Public().Chain,
+		Nonce:      nonce,
+		Assertions: a.asserts,
+		Features:   a.acceptFeatures(),
+	}
+	if rejectedResume {
+		// Signal the rejection in the same leg that carries the full
+		// hello, so falling back costs the client no extra round trip.
+		no := false
+		hello.ResumeOK = &no
+	}
+	if err := writeJSON(rw, &hello); err != nil {
+		return nil, fmt.Errorf("send hello: %w", err)
+	}
+	if rejectedResume {
+		// The rejected resumption attempt was not a full hello; the
+		// client falls back and sends one now.
+		clientHello = handshakeMsg{}
+		if err := readJSON(br, &clientHello); err != nil {
+			return nil, fmt.Errorf("read peer hello: %w", err)
+		}
+	}
+	peer, peerCred, err := a.verifyPeerHello(&clientHello)
+	if err != nil {
+		return nil, err
+	}
+	if err := a.proofExchange(rw, br, nonce, clientHello.Nonce, peerCred); err != nil {
+		return nil, err
+	}
+	// Grant a resumption ticket only to clients that announced the
+	// capability: an old client would misread the extra leg as its first
+	// application message.
+	if a.issuer != nil && hasFeature(clientHello.Features, FeatureResume) {
+		grant := handshakeMsg{}
+		if ticket, secret, expiry, err := a.issuer.issue(peer); err == nil {
+			grant.TicketGrant = &ticketGrant{Ticket: ticket, Secret: secret, Expiry: expiry}
+		}
+		// An issuance failure (credential at the edge of expiry) grants
+		// nothing, but the leg must still be sent — the client is
+		// waiting for it.
+		if err := writeJSON(rw, &grant); err != nil {
+			return nil, fmt.Errorf("send ticket grant: %w", err)
+		}
+	}
+	return peer, nil
+}
+
+// acceptResume attempts to resume from the client's presented ticket.
+// ok=false with a nil error means the ticket was rejected (expired,
+// tampered, assertion mismatch, or no issuer) and the caller must fall
+// back to a full handshake; a non-nil error aborts the connection.
+func (a *Authenticator) acceptResume(rw io.ReadWriter, br *bufio.Reader, clientHello *handshakeMsg) (*Peer, bool, error) {
+	if a.issuer == nil || len(clientHello.Nonce) != nonceLen {
+		return nil, false, nil
+	}
+	state, secret, err := a.issuer.redeem(clientHello.ResumeTicket, a.now())
+	if err != nil {
+		return nil, false, nil
+	}
+	// The re-presented assertions must be the exact set the full
+	// handshake verified and the ticket sealed: the digest (over the
+	// assertion signatures) pins them, so no VO signature needs
+	// re-checking here. Unknown-VO assertions are dropped before
+	// digesting, exactly as the full handshake drops them before
+	// verification. Any other set forces a full handshake.
+	var kept []*Assertion
+	for _, as := range clientHello.Assertions {
+		if _, ok := a.voCerts[as.Issuer]; ok {
+			kept = append(kept, as)
+		}
+	}
+	if !bytes.Equal(assertionsDigest(kept), state.AssertionDigest) {
+		return nil, false, nil
+	}
+	nonce, err := newNonce()
+	if err != nil {
+		return nil, false, err
+	}
+	ok := true
+	accept := handshakeMsg{
+		ResumeOK:  &ok,
+		Nonce:     nonce,
+		ResumeMAC: resumeMAC(secret, "accept", clientHello.Nonce),
+		Features:  a.acceptFeatures(),
+	}
+	// The accept leg and the client's confirm leg cross on the wire (the
+	// client may pipeline its confirm), so send and read concurrently.
+	sendErr := make(chan error, 1)
+	go func() { sendErr <- writeJSON(rw, &accept) }()
+	var confirm handshakeMsg
+	if err := readJSON(br, &confirm); err != nil {
+		return nil, false, fmt.Errorf("read resume confirm: %w", err)
+	}
+	if err := <-sendErr; err != nil {
+		return nil, false, fmt.Errorf("send resume accept: %w", err)
+	}
+	// The client proves possession of the session secret over our fresh
+	// nonce; a replayed recording of an earlier resumption cannot.
+	if !hmac.Equal(confirm.ResumeMAC, resumeMAC(secret, "confirm", nonce)) {
+		return nil, false, fmt.Errorf("%w: peer failed resumption proof", ErrHandshakeFailed)
+	}
+	return &Peer{
+		Identity:   state.Identity,
+		Subject:    state.Subject,
+		Limited:    state.Limited,
+		Assertions: kept,
+		Features:   clientHello.Features,
+		Resumed:    true,
+	}, true, nil
+}
+
+// HandshakeClient runs the initiating side of a client/acceptor
+// handshake against the acceptor at target (the session-cache key,
+// normally the dial address). With a SessionCache configured it resumes
+// a cached session in one round trip — skipping chain verification and
+// the per-leg signatures — and falls back to a full handshake, on the
+// same connection, when the acceptor rejects the ticket. A resumption
+// attempt that dies at the transport level returns an error wrapping
+// ErrResumeFailed after invalidating the cached session, so the caller
+// can redial and get a full handshake.
+func (a *Authenticator) HandshakeClient(rw io.ReadWriter, target string) (*Peer, *bufio.Reader, error) {
+	br := bufio.NewReader(rw)
+	if a.sessions != nil {
+		s := a.sessions.lookup(target, credentialDigest(a.cred), assertionsDigest(a.asserts), a.now())
+		if s != nil {
+			peer, acceptorHello, err := a.tryResume(rw, br, s)
+			if err != nil {
+				a.sessions.Invalidate(target)
+				if errors.Is(err, ErrHandshakeFailed) {
+					return nil, nil, err
+				}
+				return nil, nil, fmt.Errorf("%w: %v", ErrResumeFailed, err)
+			}
+			if peer != nil {
+				return peer, br, nil
+			}
+			// Rejected: acceptorHello is the acceptor's full hello; drop
+			// the stale session and complete a full handshake on this
+			// same connection.
+			a.sessions.Invalidate(target)
+			peer, err = a.clientFullFrom(rw, br, acceptorHello, target)
+			if err != nil {
+				return nil, nil, err
+			}
+			return peer, br, nil
+		}
+	}
+	peer, err := a.clientFull(rw, br, target)
+	if err != nil {
+		return nil, nil, err
+	}
+	return peer, br, nil
+}
+
+// tryResume runs the one-round-trip resumption. It returns the resumed
+// peer on success; (nil, acceptorHello, nil) when the acceptor rejected
+// the ticket and fell back to a full hello; or an error.
+func (a *Authenticator) tryResume(rw io.ReadWriter, br *bufio.Reader, s *Session) (*Peer, *handshakeMsg, error) {
+	nonce, err := newNonce()
+	if err != nil {
+		return nil, nil, err
+	}
+	hello := handshakeMsg{
+		ResumeTicket: s.Ticket,
+		Nonce:        nonce,
+		Assertions:   a.asserts,
+		Features:     a.clientFeatures(),
+	}
+	if err := writeJSON(rw, &hello); err != nil {
+		return nil, nil, fmt.Errorf("send resume hello: %w", err)
+	}
+	var reply handshakeMsg
+	if err := readJSON(br, &reply); err != nil {
+		return nil, nil, fmt.Errorf("read resume reply: %w", err)
+	}
+	if reply.ResumeOK == nil || !*reply.ResumeOK {
+		if len(reply.Chain) == 0 {
+			// Not an acceptor that understands fallback (e.g. an old
+			// symmetric peer confused by the ticket): bail out.
+			return nil, nil, errors.New("peer rejected resumption without falling back")
+		}
+		return nil, &reply, nil
+	}
+	// Authenticate the acceptor: only the ticket issuer can derive the
+	// session secret, and the MAC covers our fresh nonce.
+	if len(reply.Nonce) != nonceLen || !hmac.Equal(reply.ResumeMAC, resumeMAC(s.Secret, "accept", nonce)) {
+		return nil, nil, fmt.Errorf("%w: peer failed resumption proof", ErrHandshakeFailed)
+	}
+	if err := writeJSON(rw, &handshakeMsg{ResumeMAC: resumeMAC(s.Secret, "confirm", reply.Nonce)}); err != nil {
+		return nil, nil, fmt.Errorf("send resume confirm: %w", err)
+	}
+	return &Peer{
+		Identity: s.PeerIdentity,
+		Subject:  s.PeerSubject,
+		Features: reply.Features,
+		Resumed:  true,
+	}, nil, nil
+}
+
+// clientFull runs a full handshake from scratch (no resumption attempt
+// preceded it on this connection).
+func (a *Authenticator) clientFull(rw io.ReadWriter, br *bufio.Reader, target string) (*Peer, error) {
+	nonce, err := newNonce()
+	if err != nil {
+		return nil, err
+	}
+	hello := handshakeMsg{
+		Chain:      a.cred.Public().Chain,
+		Nonce:      nonce,
+		Assertions: a.asserts,
+		Features:   a.clientFeatures(),
+	}
+	// The acceptor reads first, but a symmetric peer transmits first;
+	// sending concurrently keeps both orders deadlock-free.
+	sendErr := make(chan error, 1)
+	go func() { sendErr <- writeJSON(rw, &hello) }()
+	var acceptorHello handshakeMsg
+	if err := readJSON(br, &acceptorHello); err != nil {
 		return nil, fmt.Errorf("read peer hello: %w", err)
 	}
 	if err := <-sendErr; err != nil {
 		return nil, fmt.Errorf("send hello: %w", err)
 	}
-	if len(peerHello.Nonce) != nonceLen {
-		return nil, fmt.Errorf("%w: bad peer nonce", ErrHandshakeFailed)
-	}
-	peerCred := &Credential{Chain: peerHello.Chain}
-	identity, err := a.trust.Verify(peerCred, a.now())
-	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrHandshakeFailed, err)
-	}
+	return a.clientFinish(rw, br, nonce, &acceptorHello, target)
+}
 
-	// Prove possession of our key by signing the peer's nonce; check the
-	// peer's proof over ours.
-	sig, err := a.cred.Sign(peerHello.Nonce)
+// clientFullFrom completes a full handshake after a rejected resumption:
+// the acceptor's hello is already in hand, ours still has to be sent.
+func (a *Authenticator) clientFullFrom(rw io.ReadWriter, br *bufio.Reader, acceptorHello *handshakeMsg, target string) (*Peer, error) {
+	nonce, err := newNonce()
 	if err != nil {
 		return nil, err
 	}
-	go func() { sendErr <- writeJSON(rw, &handshakeMsg{Signature: sig}) }()
-	var peerProof handshakeMsg
-	if err := readJSON(br, &peerProof); err != nil {
-		return nil, fmt.Errorf("read peer proof: %w", err)
+	hello := handshakeMsg{
+		Chain:      a.cred.Public().Chain,
+		Nonce:      nonce,
+		Assertions: a.asserts,
+		Features:   a.clientFeatures(),
 	}
-	if err := <-sendErr; err != nil {
-		return nil, fmt.Errorf("send proof: %w", err)
+	if err := writeJSON(rw, &hello); err != nil {
+		return nil, fmt.Errorf("send hello: %w", err)
 	}
-	if err := peerCred.VerifyBy(nonce, peerProof.Signature); err != nil {
-		return nil, fmt.Errorf("%w: peer failed proof of possession", ErrHandshakeFailed)
-	}
+	return a.clientFinish(rw, br, nonce, acceptorHello, target)
+}
 
+// clientFinish verifies the acceptor's hello, exchanges proofs, and —
+// when both sides announced FeatureResume — reads the ticket-grant leg
+// and caches the session.
+func (a *Authenticator) clientFinish(rw io.ReadWriter, br *bufio.Reader, nonce []byte, acceptorHello *handshakeMsg, target string) (*Peer, error) {
+	peer, peerCred, err := a.verifyPeerHello(acceptorHello)
+	if err != nil {
+		return nil, err
+	}
+	if err := a.proofExchange(rw, br, nonce, acceptorHello.Nonce, peerCred); err != nil {
+		return nil, err
+	}
+	if a.sessions != nil && hasFeature(acceptorHello.Features, FeatureResume) {
+		var grant handshakeMsg
+		if err := readJSON(br, &grant); err != nil {
+			return nil, fmt.Errorf("read ticket grant: %w", err)
+		}
+		if g := grant.TicketGrant; g != nil && len(g.Ticket) > 0 && len(g.Secret) > 0 {
+			a.sessions.store(target, &Session{
+				Ticket:       g.Ticket,
+				Secret:       g.Secret,
+				Expiry:       g.Expiry,
+				PeerIdentity: peer.Identity,
+				PeerSubject:  peer.Subject,
+				credDigest:   credentialDigest(a.cred),
+				assertDigest: assertionsDigest(a.asserts),
+			})
+		}
+	}
+	return peer, nil
+}
+
+// verifyPeerHello checks the chain and assertions of a full hello and
+// builds the (pre-proof) peer.
+func (a *Authenticator) verifyPeerHello(ph *handshakeMsg) (*Peer, *Credential, error) {
+	if len(ph.Nonce) != nonceLen {
+		return nil, nil, fmt.Errorf("%w: bad peer nonce", ErrHandshakeFailed)
+	}
+	peerCred := &Credential{Chain: ph.Chain}
+	identity, err := a.trust.Verify(peerCred, a.now())
+	if err != nil {
+		return nil, nil, fmt.Errorf("%w: %v", ErrHandshakeFailed, err)
+	}
 	peer := &Peer{
 		Identity:   identity,
 		Subject:    peerCred.Subject(),
 		Limited:    peerCred.Leaf().Kind == KindLimited,
 		Credential: peerCred,
+		Features:   ph.Features,
 	}
-	for _, as := range peerHello.Assertions {
+	for _, as := range ph.Assertions {
 		voCert, ok := a.voCerts[as.Issuer]
 		if !ok {
 			continue // unknown VO: ignore the assertion
 		}
 		if err := VerifyAssertion(as, voCert, identity, a.now()); err != nil {
-			return nil, fmt.Errorf("%w: %v", ErrHandshakeFailed, err)
+			return nil, nil, fmt.Errorf("%w: %v", ErrHandshakeFailed, err)
 		}
 		peer.Assertions = append(peer.Assertions, as)
 	}
-	return peer, nil
+	return peer, peerCred, nil
+}
+
+// proofExchange proves possession of our key by signing the peer's
+// nonce (sent concurrently with reading the peer's proof, for symmetric
+// transports) and checks the peer's proof over ours.
+func (a *Authenticator) proofExchange(rw io.ReadWriter, br *bufio.Reader, myNonce, peerNonce []byte, peerCred *Credential) error {
+	sig, err := a.cred.Sign(peerNonce)
+	if err != nil {
+		return err
+	}
+	sendErr := make(chan error, 1)
+	go func() { sendErr <- writeJSON(rw, &handshakeMsg{Signature: sig}) }()
+	var peerProof handshakeMsg
+	if err := readJSON(br, &peerProof); err != nil {
+		return fmt.Errorf("read peer proof: %w", err)
+	}
+	if err := <-sendErr; err != nil {
+		return fmt.Errorf("send proof: %w", err)
+	}
+	if err := peerCred.VerifyBy(myNonce, peerProof.Signature); err != nil {
+		return fmt.Errorf("%w: peer failed proof of possession", ErrHandshakeFailed)
+	}
+	return nil
+}
+
+// clientFeatures is what HandshakeClient announces: the application
+// features plus FeatureResume when a session cache is configured.
+func (a *Authenticator) clientFeatures() []string {
+	if a.sessions == nil {
+		return a.features
+	}
+	return append([]string{FeatureResume}, a.features...)
+}
+
+// acceptFeatures is what HandshakeAccept announces: the application
+// features plus FeatureResume when a ticket issuer is configured.
+func (a *Authenticator) acceptFeatures() []string {
+	if a.issuer == nil {
+		return a.features
+	}
+	return append([]string{FeatureResume}, a.features...)
+}
+
+func newNonce() ([]byte, error) {
+	nonce := make([]byte, nonceLen)
+	if _, err := rand.Read(nonce); err != nil {
+		return nil, fmt.Errorf("generate nonce: %w", err)
+	}
+	return nonce, nil
 }
 
 func writeJSON(w io.Writer, v any) error {
@@ -179,9 +617,28 @@ func writeJSON(w io.Writer, v any) error {
 }
 
 func readJSON(br *bufio.Reader, v any) error {
-	line, err := br.ReadBytes('\n')
+	line, err := readLine(br, maxHandshakeMsg)
 	if err != nil {
 		return err
 	}
 	return json.Unmarshal(line, v)
+}
+
+// readLine reads one newline-terminated frame, refusing frames larger
+// than max.
+func readLine(br *bufio.Reader, max int) ([]byte, error) {
+	var buf []byte
+	for {
+		frag, err := br.ReadSlice('\n')
+		buf = append(buf, frag...)
+		if len(buf) > max {
+			return nil, fmt.Errorf("gsi: handshake message exceeds %d bytes", max)
+		}
+		if err == nil {
+			return buf, nil
+		}
+		if err != bufio.ErrBufferFull {
+			return nil, err
+		}
+	}
 }

@@ -1,0 +1,280 @@
+package gsi
+
+import (
+	"bytes"
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Session resumption errors.
+var (
+	// ErrTicketInvalid reports a resumption ticket that failed
+	// validation: tampered payload, forged seal, or expiry.
+	ErrTicketInvalid = errors.New("gsi: resumption ticket invalid")
+	// ErrResumeFailed wraps transport-level failures of a resumption
+	// attempt. The session has already been invalidated; callers that
+	// control dialing should retry with a fresh connection (which will
+	// run a full handshake).
+	ErrResumeFailed = errors.New("gsi: session resumption failed")
+)
+
+// DefaultTicketLifetime bounds how long a resumption ticket stays
+// redeemable when the issuer is not configured otherwise. The effective
+// lifetime of any individual ticket is further clamped to the peer
+// credential's and assertions' remaining validity.
+const DefaultTicketLifetime = 10 * time.Minute
+
+// TicketIssuer mints and redeems the opaque, HMAC-sealed session
+// resumption tickets an acceptor hands out after a full mutual
+// handshake. The ticket binds the verified Peer (identity, subject,
+// limited flag, digest of the presented assertions) so a later
+// connection can re-establish the authenticated channel in one round
+// trip, without chain verification or per-leg signatures. The issuer is
+// stateless across connections: everything needed to redeem a ticket is
+// inside the ticket, sealed under the issuer's random key, so restarting
+// the process invalidates all outstanding tickets (clients fall back to
+// a full handshake transparently).
+type TicketIssuer struct {
+	key      []byte
+	lifetime time.Duration
+	now      func() time.Time
+}
+
+// NewTicketIssuer creates an issuer with a fresh random sealing key.
+// lifetime <= 0 selects DefaultTicketLifetime.
+func NewTicketIssuer(lifetime time.Duration) (*TicketIssuer, error) {
+	if lifetime <= 0 {
+		lifetime = DefaultTicketLifetime
+	}
+	key := make([]byte, 32)
+	if _, err := rand.Read(key); err != nil {
+		return nil, fmt.Errorf("gsi: generate ticket key: %w", err)
+	}
+	return &TicketIssuer{key: key, lifetime: lifetime, now: time.Now}, nil
+}
+
+// ticketPayload is the sealed state: everything the acceptor needs to
+// reconstruct the authenticated Peer without re-verifying the chain.
+type ticketPayload struct {
+	Identity DN   `json:"identity"`
+	Subject  DN   `json:"subject"`
+	Limited  bool `json:"limited,omitempty"`
+	// AssertionDigest pins the exact assertion set verified at the full
+	// handshake; the client re-presents the assertions at resumption
+	// and the acceptor checks them against this digest instead of
+	// re-verifying VO signatures.
+	AssertionDigest []byte    `json:"assertionDigest,omitempty"`
+	Nonce           []byte    `json:"nonce"`
+	Expiry          time.Time `json:"expiry"`
+}
+
+// sealedTicket is the wire form of a ticket: the payload plus an HMAC
+// over it under the issuer's key. The client treats the whole blob as
+// opaque. Note the payload is not confidential — nothing on this
+// simulated wire is — but it is unforgeable and tamper-evident, and the
+// session secret needed to redeem it is never derivable from the ticket
+// alone (the derivation is keyed, see secretFor).
+type sealedTicket struct {
+	Payload json.RawMessage `json:"payload"`
+	MAC     []byte          `json:"mac"`
+}
+
+func (ti *TicketIssuer) sealMAC(payload []byte) []byte {
+	h := hmac.New(sha256.New, ti.key)
+	h.Write([]byte("gsi-ticket-seal"))
+	h.Write(payload)
+	return h.Sum(nil)
+}
+
+// secretFor derives the per-ticket session secret from the seal. Only
+// the issuer can perform the derivation (it is keyed), so an observer
+// of a ticket on the wire cannot impersonate either side of a
+// resumption; the legitimate client receives the secret once, at grant
+// time, over the channel the full handshake just authenticated.
+func (ti *TicketIssuer) secretFor(sealMAC []byte) []byte {
+	h := hmac.New(sha256.New, ti.key)
+	h.Write([]byte("gsi-resume-secret"))
+	h.Write(sealMAC)
+	return h.Sum(nil)
+}
+
+// issue seals a ticket for an authenticated peer. The expiry is clamped
+// to the peer credential's remaining lifetime and to every presented
+// assertion's validity window, so a resumed session can never outlive
+// what a full handshake at redeem time would have accepted.
+func (ti *TicketIssuer) issue(peer *Peer) (ticket, secret []byte, expiry time.Time, err error) {
+	now := ti.now()
+	expiry = now.Add(ti.lifetime)
+	if peer.Credential != nil {
+		if leaf := peer.Credential.Leaf(); leaf != nil && leaf.NotAfter.Before(expiry) {
+			expiry = leaf.NotAfter
+		}
+	}
+	for _, a := range peer.Assertions {
+		if a.NotAfter.Before(expiry) {
+			expiry = a.NotAfter
+		}
+	}
+	if !expiry.After(now) {
+		return nil, nil, time.Time{}, errors.New("gsi: peer credential expires before any ticket could be redeemed")
+	}
+	nonce := make([]byte, 16)
+	if _, err := rand.Read(nonce); err != nil {
+		return nil, nil, time.Time{}, fmt.Errorf("gsi: generate ticket nonce: %w", err)
+	}
+	payload, err := json.Marshal(&ticketPayload{
+		Identity:        peer.Identity,
+		Subject:         peer.Subject,
+		Limited:         peer.Limited,
+		AssertionDigest: assertionsDigest(peer.Assertions),
+		Nonce:           nonce,
+		Expiry:          expiry,
+	})
+	if err != nil {
+		return nil, nil, time.Time{}, err
+	}
+	mac := ti.sealMAC(payload)
+	ticket, err = json.Marshal(&sealedTicket{Payload: payload, MAC: mac})
+	if err != nil {
+		return nil, nil, time.Time{}, err
+	}
+	return ticket, ti.secretFor(mac), expiry, nil
+}
+
+// redeem validates a sealed ticket at time `at` and returns the bound
+// peer state and the session secret.
+func (ti *TicketIssuer) redeem(ticket []byte, at time.Time) (*ticketPayload, []byte, error) {
+	var st sealedTicket
+	if err := json.Unmarshal(ticket, &st); err != nil {
+		return nil, nil, fmt.Errorf("%w: %v", ErrTicketInvalid, err)
+	}
+	if !hmac.Equal(st.MAC, ti.sealMAC(st.Payload)) {
+		return nil, nil, fmt.Errorf("%w: bad seal", ErrTicketInvalid)
+	}
+	var p ticketPayload
+	if err := json.Unmarshal(st.Payload, &p); err != nil {
+		return nil, nil, fmt.Errorf("%w: %v", ErrTicketInvalid, err)
+	}
+	if at.After(p.Expiry) {
+		return nil, nil, fmt.Errorf("%w: expired %s ago", ErrTicketInvalid, at.Sub(p.Expiry))
+	}
+	return &p, ti.secretFor(st.MAC), nil
+}
+
+// resumeMAC computes one leg's proof of session-secret possession. The
+// role string domain-separates the acceptor's proof (over the client
+// nonce) from the client's (over the acceptor nonce).
+func resumeMAC(secret []byte, role string, nonce []byte) []byte {
+	h := hmac.New(sha256.New, secret)
+	h.Write([]byte(role))
+	h.Write(nonce)
+	return h.Sum(nil)
+}
+
+// assertionsDigest binds an exact set of presented assertions. Each
+// assertion's signature already covers every one of its fields, so
+// hashing the signatures in presentation order pins the set.
+func assertionsDigest(as []*Assertion) []byte {
+	if len(as) == 0 {
+		return nil
+	}
+	h := sha256.New()
+	for _, a := range as {
+		h.Write(a.Signature)
+	}
+	return h.Sum(nil)
+}
+
+// credentialDigest identifies the exact chain a client authenticates
+// with, so a cached session is never resumed after the credential
+// changed (a re-delegated proxy must re-run the full handshake).
+func credentialDigest(c *Credential) []byte {
+	h := sha256.New()
+	for _, cert := range c.Chain {
+		h.Write(cert.Signature)
+	}
+	return h.Sum(nil)
+}
+
+// Session is an established resumable session with one acceptor,
+// granted at the end of a full handshake.
+type Session struct {
+	// Ticket is the acceptor's opaque sealed ticket, presented verbatim
+	// at resumption.
+	Ticket []byte
+	// Secret authenticates both sides of a resumption. It is never sent
+	// during resumption; both proofs are HMACs keyed with it.
+	Secret []byte
+	// Expiry is the ticket's redeem-by time (already clamped by the
+	// issuer to the credential's and assertions' validity).
+	Expiry time.Time
+	// PeerIdentity and PeerSubject record the acceptor's verified
+	// identity from the original full handshake; a resumed connection
+	// reports them without re-verifying the acceptor's chain (the
+	// acceptor re-authenticates by proving possession of Secret).
+	PeerIdentity DN
+	PeerSubject  DN
+
+	credDigest   []byte
+	assertDigest []byte
+}
+
+// SessionCache stores resumable sessions keyed by dial target. A client
+// Authenticator configured with one (WithSessionCache) resumes
+// transparently and falls back to a full handshake whenever the cached
+// session is expired, was established under a different credential or
+// assertion set, or is rejected by the acceptor. Safe for concurrent
+// use.
+type SessionCache struct {
+	mu       sync.Mutex
+	sessions map[string]*Session
+}
+
+// NewSessionCache creates an empty session cache.
+func NewSessionCache() *SessionCache {
+	return &SessionCache{sessions: make(map[string]*Session)}
+}
+
+// lookup returns the session for target when it is still redeemable and
+// was established with the same credential chain and assertion set;
+// otherwise it drops the stale entry and returns nil.
+func (c *SessionCache) lookup(target string, credDigest, assertDigest []byte, at time.Time) *Session {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s, ok := c.sessions[target]
+	if !ok {
+		return nil
+	}
+	if at.After(s.Expiry) || !bytes.Equal(s.credDigest, credDigest) || !bytes.Equal(s.assertDigest, assertDigest) {
+		delete(c.sessions, target)
+		return nil
+	}
+	return s
+}
+
+func (c *SessionCache) store(target string, s *Session) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.sessions[target] = s
+}
+
+// Invalidate drops the cached session for target (e.g. after the
+// acceptor rejected its ticket).
+func (c *SessionCache) Invalidate(target string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.sessions, target)
+}
+
+// Len reports how many resumable sessions are cached.
+func (c *SessionCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.sessions)
+}

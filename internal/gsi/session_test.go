@@ -1,0 +1,356 @@
+package gsi
+
+import (
+	"errors"
+	"net"
+	"testing"
+	"time"
+)
+
+// sessionTarget is the cache key used by the client side in these tests
+// (in production it is the dial address).
+const sessionTarget = "gatekeeper.test:7512"
+
+// runClientAccept drives one HandshakeClient / HandshakeAccept exchange
+// over a synchronous pipe, closing the failing side so the peer
+// unblocks (the way real endpoints' deferred conn.Close does).
+func runClientAccept(t *testing.T, client, server *Authenticator) (clientPeer, serverPeer *Peer, clientErr, serverErr error) {
+	t.Helper()
+	c1, c2 := net.Pipe()
+	defer c1.Close()
+	defer c2.Close()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		serverPeer, _, serverErr = server.HandshakeAccept(c2)
+		if serverErr != nil {
+			c2.Close()
+		}
+	}()
+	clientPeer, _, clientErr = client.HandshakeClient(c1, sessionTarget)
+	if clientErr != nil {
+		c1.Close()
+	}
+	<-done
+	return
+}
+
+// sessionEnv is a resumption-capable client/acceptor pair sharing one
+// trust fabric.
+type sessionEnv struct {
+	ca     *CA
+	trust  *TrustStore
+	proxy  *Credential
+	gkCred *Credential
+	issuer *TicketIssuer
+	cache  *SessionCache
+	client *Authenticator
+	server *Authenticator
+}
+
+func newSessionEnv(t *testing.T, ticketLifetime time.Duration, clientOpts, serverOpts []AuthOption) *sessionEnv {
+	t.Helper()
+	ca := newTestCA(t)
+	trust := NewTrustStore(ca.Certificate())
+	kate, err := ca.Issue(kateDN, KindUser)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proxy, err := Delegate(kate, time.Hour, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gkCred, err := ca.Issue(gkDN, KindService)
+	if err != nil {
+		t.Fatal(err)
+	}
+	issuer, err := NewTicketIssuer(ticketLifetime)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := NewSessionCache()
+	e := &sessionEnv{
+		ca: ca, trust: trust, proxy: proxy, gkCred: gkCred,
+		issuer: issuer, cache: cache,
+	}
+	e.client = NewAuthenticator(proxy, trust, append([]AuthOption{WithSessionCache(cache)}, clientOpts...)...)
+	e.server = NewAuthenticator(gkCred, trust, append([]AuthOption{WithTicketIssuer(issuer)}, serverOpts...)...)
+	return e
+}
+
+func TestSessionResumptionRoundTrip(t *testing.T) {
+	e := newSessionEnv(t, 0, nil, nil)
+
+	// First connection: full handshake, ticket granted and cached.
+	cp, sp, cerr, serr := runClientAccept(t, e.client, e.server)
+	if cerr != nil || serr != nil {
+		t.Fatalf("full handshake: client=%v server=%v", cerr, serr)
+	}
+	if cp.Resumed || sp.Resumed {
+		t.Fatalf("first handshake reported resumed (client=%v server=%v)", cp.Resumed, sp.Resumed)
+	}
+	if e.cache.Len() != 1 {
+		t.Fatalf("cache holds %d sessions after grant, want 1", e.cache.Len())
+	}
+
+	// Second connection: one-round-trip resumption on both sides.
+	cp2, sp2, cerr, serr := runClientAccept(t, e.client, e.server)
+	if cerr != nil || serr != nil {
+		t.Fatalf("resumed handshake: client=%v server=%v", cerr, serr)
+	}
+	if !cp2.Resumed || !sp2.Resumed {
+		t.Fatalf("resumption did not happen (client=%v server=%v)", cp2.Resumed, sp2.Resumed)
+	}
+	if sp2.Identity != kateDN {
+		t.Errorf("resumed identity = %s, want %s", sp2.Identity, kateDN)
+	}
+	if sp2.Subject != e.proxy.Subject() {
+		t.Errorf("resumed subject = %s, want %s", sp2.Subject, e.proxy.Subject())
+	}
+	if sp2.Limited {
+		t.Errorf("resumed session reports a limited proxy")
+	}
+	if sp2.Credential != nil {
+		t.Errorf("resumed peer carries a credential; the chain is not re-presented")
+	}
+	if cp2.Identity != gkDN {
+		t.Errorf("client sees acceptor identity %s, want %s", cp2.Identity, gkDN)
+	}
+}
+
+func TestResumptionCarriesFeaturesAndAssertions(t *testing.T) {
+	voCred, err := newTestCA(t).Issue("/O=Grid/CN=NFC VO", KindService)
+	if err != nil {
+		t.Fatal(err)
+	}
+	as := &Assertion{
+		VO: "NFC", Holder: kateDN, Jobtags: []string{"NFC"},
+		NotBefore: time.Now().Add(-time.Minute), NotAfter: time.Now().Add(time.Hour),
+	}
+	if err := SignAssertion(as, voCred); err != nil {
+		t.Fatal(err)
+	}
+	// An assertion from a VO the acceptor does not know: dropped on the
+	// full handshake AND on resumption, never fatal.
+	strangerCred, err := newTestCA(t).Issue("/O=Grid/CN=Stranger VO", KindService)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unknown := &Assertion{
+		VO: "stranger", Holder: kateDN,
+		NotBefore: time.Now().Add(-time.Minute), NotAfter: time.Now().Add(time.Hour),
+	}
+	if err := SignAssertion(unknown, strangerCred); err != nil {
+		t.Fatal(err)
+	}
+
+	e := newSessionEnv(t, 0,
+		[]AuthOption{WithAssertions(as, unknown), WithFeatures("app/2")},
+		[]AuthOption{WithVOCert(voCred.Leaf()), WithFeatures("app/2")})
+
+	_, sp, cerr, serr := runClientAccept(t, e.client, e.server)
+	if cerr != nil || serr != nil {
+		t.Fatalf("full handshake: client=%v server=%v", cerr, serr)
+	}
+	if len(sp.Assertions) != 1 || sp.Assertions[0].VO != "NFC" {
+		t.Fatalf("full handshake kept %d assertions, want the 1 known-VO one", len(sp.Assertions))
+	}
+
+	cp2, sp2, cerr, serr := runClientAccept(t, e.client, e.server)
+	if cerr != nil || serr != nil {
+		t.Fatalf("resumed handshake: client=%v server=%v", cerr, serr)
+	}
+	if !sp2.Resumed {
+		t.Fatal("expected resumption despite the unknown-VO assertion in the hello")
+	}
+	if len(sp2.Assertions) != 1 || sp2.Assertions[0].VO != "NFC" {
+		t.Errorf("resumed handshake kept %d assertions, want the 1 known-VO one", len(sp2.Assertions))
+	}
+	if !cp2.HasFeature("app/2") || !sp2.HasFeature("app/2") {
+		t.Errorf("application feature lost on resumption (client=%v server=%v)", cp2.Features, sp2.Features)
+	}
+}
+
+func TestTamperedTicketFallsBackToFullHandshake(t *testing.T) {
+	e := newSessionEnv(t, 0, nil, nil)
+	if _, _, cerr, serr := runClientAccept(t, e.client, e.server); cerr != nil || serr != nil {
+		t.Fatalf("full handshake: client=%v server=%v", cerr, serr)
+	}
+
+	s := e.cache.sessions[sessionTarget]
+	s.Ticket[len(s.Ticket)/2] ^= 0x40 // corrupt the sealed ticket
+
+	cp, sp, cerr, serr := runClientAccept(t, e.client, e.server)
+	if cerr != nil || serr != nil {
+		t.Fatalf("fallback handshake: client=%v server=%v", cerr, serr)
+	}
+	if cp.Resumed || sp.Resumed {
+		t.Fatal("tampered ticket was accepted for resumption")
+	}
+	if sp.Identity != kateDN {
+		t.Errorf("fallback identity = %s", sp.Identity)
+	}
+	// The fallback full handshake granted a fresh ticket.
+	if e.cache.Len() != 1 {
+		t.Fatalf("cache holds %d sessions after fallback, want 1 fresh", e.cache.Len())
+	}
+	if cp2, sp2, _, _ := runClientAccept(t, e.client, e.server); cp2 == nil || !cp2.Resumed || !sp2.Resumed {
+		t.Fatal("fresh ticket from the fallback handshake did not resume")
+	}
+}
+
+func TestWrongSessionSecretFailsClosed(t *testing.T) {
+	e := newSessionEnv(t, 0, nil, nil)
+	if _, _, cerr, serr := runClientAccept(t, e.client, e.server); cerr != nil || serr != nil {
+		t.Fatalf("full handshake: client=%v server=%v", cerr, serr)
+	}
+
+	// A valid ticket but the wrong secret: the acceptor's proof cannot
+	// be verified, and that is NOT a fallback case — a party presenting
+	// a stolen ticket without the secret must get nothing.
+	e.cache.sessions[sessionTarget].Secret[0] ^= 0x01
+
+	cp, _, cerr, _ := runClientAccept(t, e.client, e.server)
+	if cp != nil || cerr == nil {
+		t.Fatalf("resumption with wrong secret: peer=%v err=%v, want hard failure", cp, cerr)
+	}
+	if !errors.Is(cerr, ErrHandshakeFailed) {
+		t.Errorf("error = %v, want ErrHandshakeFailed", cerr)
+	}
+	// The poisoned session is gone; the next attempt is a clean full
+	// handshake.
+	if e.cache.Len() != 0 {
+		t.Fatalf("failed resumption left %d sessions cached", e.cache.Len())
+	}
+	if cp2, _, cerr, serr := runClientAccept(t, e.client, e.server); cerr != nil || serr != nil || cp2.Resumed {
+		t.Fatalf("recovery handshake: client=%v server=%v resumed=%v", cerr, serr, cp2 != nil && cp2.Resumed)
+	}
+}
+
+func TestExpiredTicketRejectedByAcceptor(t *testing.T) {
+	e := newSessionEnv(t, 50*time.Millisecond, nil, nil)
+	if _, _, cerr, serr := runClientAccept(t, e.client, e.server); cerr != nil || serr != nil {
+		t.Fatalf("full handshake: client=%v server=%v", cerr, serr)
+	}
+	time.Sleep(80 * time.Millisecond)
+	// Force the client to present the expired ticket anyway (its own
+	// cache would normally drop it first): the acceptor must reject.
+	e.cache.sessions[sessionTarget].Expiry = time.Now().Add(time.Hour)
+
+	cp, sp, cerr, serr := runClientAccept(t, e.client, e.server)
+	if cerr != nil || serr != nil {
+		t.Fatalf("fallback handshake: client=%v server=%v", cerr, serr)
+	}
+	if cp.Resumed || sp.Resumed {
+		t.Fatal("expired ticket was accepted for resumption")
+	}
+}
+
+func TestTicketExpiryClampedToProxyLifetime(t *testing.T) {
+	e := newSessionEnv(t, 24*time.Hour, nil, nil)
+	if _, _, cerr, serr := runClientAccept(t, e.client, e.server); cerr != nil || serr != nil {
+		t.Fatalf("full handshake: client=%v server=%v", cerr, serr)
+	}
+	s := e.cache.sessions[sessionTarget]
+	leafExpiry := e.proxy.Leaf().NotAfter
+	if s.Expiry.After(leafExpiry) {
+		t.Errorf("ticket expiry %v outlives the proxy credential %v", s.Expiry, leafExpiry)
+	}
+	if time.Until(s.Expiry) < 30*time.Minute {
+		t.Errorf("ticket expiry %v is not clamped to roughly the proxy lifetime", s.Expiry)
+	}
+}
+
+func TestSessionInvalidatedByCredentialChange(t *testing.T) {
+	e := newSessionEnv(t, 0, nil, nil)
+	if _, _, cerr, serr := runClientAccept(t, e.client, e.server); cerr != nil || serr != nil {
+		t.Fatalf("full handshake: client=%v server=%v", cerr, serr)
+	}
+
+	// Same user re-delegates a fresh proxy: the cached session was
+	// established under the old chain and must not be resumed.
+	kate, err := e.ca.Issue(kateDN, KindUser)
+	if err != nil {
+		t.Fatal(err)
+	}
+	newProxy, err := Delegate(kate, time.Hour, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client2 := NewAuthenticator(newProxy, e.trust, WithSessionCache(e.cache))
+	cp, sp, cerr, serr := runClientAccept(t, client2, e.server)
+	if cerr != nil || serr != nil {
+		t.Fatalf("post-redelegation handshake: client=%v server=%v", cerr, serr)
+	}
+	if cp.Resumed || sp.Resumed {
+		t.Fatal("session resumed across a credential change")
+	}
+}
+
+func TestSessionInvalidatedByAssertionChange(t *testing.T) {
+	voCred, err := newTestCA(t).Issue("/O=Grid/CN=NFC VO", KindService)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := newSessionEnv(t, 0, nil, []AuthOption{WithVOCert(voCred.Leaf())})
+	if _, _, cerr, serr := runClientAccept(t, e.client, e.server); cerr != nil || serr != nil {
+		t.Fatalf("full handshake: client=%v server=%v", cerr, serr)
+	}
+
+	// The same client now presents an assertion it did not present when
+	// the session was established: full handshake required.
+	as := &Assertion{
+		VO: "NFC", Holder: kateDN, Jobtags: []string{"NFC"},
+		NotBefore: time.Now().Add(-time.Minute), NotAfter: time.Now().Add(time.Hour),
+	}
+	if err := SignAssertion(as, voCred); err != nil {
+		t.Fatal(err)
+	}
+	client2 := NewAuthenticator(e.proxy, e.trust, WithSessionCache(e.cache), WithAssertions(as))
+	cp, sp, cerr, serr := runClientAccept(t, client2, e.server)
+	if cerr != nil || serr != nil {
+		t.Fatalf("post-assertion-change handshake: client=%v server=%v", cerr, serr)
+	}
+	if cp.Resumed || sp.Resumed {
+		t.Fatal("session resumed across an assertion change")
+	}
+	if len(sp.Assertions) != 1 {
+		t.Fatalf("new assertion not verified on the fallback handshake")
+	}
+}
+
+func TestExpiredProxyRejectedAtHandshake(t *testing.T) {
+	// A CA whose clock ran two days behind issues a 12h user credential:
+	// chain-valid anchors, expired leaf.
+	past := time.Now().Add(-48 * time.Hour)
+	backCA, err := NewCA(caDN, WithClock(func() time.Time { return past }), WithTTL(12*time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	trust := NewTrustStore(backCA.Certificate())
+	staleKate, err := backCA.Issue(kateDN, KindUser)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The gatekeeper credential comes from a current CA (also trusted) so
+	// only the client-side expiry is under test.
+	nowCA := newTestCA(t)
+	gkCred, err := nowCA.Issue(gkDN, KindService)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trust.Add(nowCA.Certificate())
+
+	client := NewAuthenticator(staleKate, trust)
+	server := NewAuthenticator(gkCred, trust)
+	_, _, cerr, serr := runClientAccept(t, client, server)
+	if serr == nil {
+		t.Fatal("acceptor accepted an expired proxy credential")
+	}
+	if !errors.Is(serr, ErrHandshakeFailed) {
+		t.Errorf("server error = %v, want ErrHandshakeFailed", serr)
+	}
+	if cerr == nil {
+		t.Error("client side reported success against a rejecting acceptor")
+	}
+}
