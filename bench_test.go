@@ -27,6 +27,7 @@ import (
 	"gridauth/internal/gsi"
 	"gridauth/internal/jobcontrol"
 	"gridauth/internal/policy"
+	"gridauth/internal/resilience"
 	"gridauth/internal/rsl"
 	"gridauth/internal/sandbox"
 	"gridauth/internal/workload"
@@ -849,6 +850,65 @@ func BenchmarkP8_MultiplexedManagement(b *testing.B) {
 		b.ResetTimer()
 		statusWorkers(b, clients, 4)
 	})
+}
+
+// BenchmarkP9_ResilienceOverhead prices the resilience wrapper on the
+// happy path: the same registry-dispatched VO+local chain with no
+// wrapper, with each protection alone, and with the full stack
+// (timeout + retries + breaker) — all on permits, so retries never
+// fire and the breaker never opens. The acceptance bar for this PR is
+// the full stack within ~5% of unwrapped, on this worst case: an
+// in-process chain whose whole unwrapped decision is a few
+// microseconds. Both chain PDPs declare core.NonBlockingPDP, so the
+// timeout wrapper spends no deadline machinery on them; the per-layer
+// costs, including the deadline price a hang-capable PDP pays, are
+// isolated by BenchmarkWrapMicro in internal/resilience.
+func BenchmarkP9_ResilienceOverhead(b *testing.B) {
+	users := workload.NFCUsers(1, 1, 1)
+	voPol, err := workload.NFCPolicy(users)
+	if err != nil {
+		b.Fatal(err)
+	}
+	local, err := workload.NFCLocalPolicy()
+	if err != nil {
+		b.Fatal(err)
+	}
+	req := &core.Request{
+		Subject: users[1].DN,
+		Action:  policy.ActionStart,
+		Spec:    mustBenchSpec(b, benchAnalystJob),
+	}
+	newReg := func(o core.CalloutOptions) *core.Registry {
+		reg := core.NewRegistry()
+		resilience.Install(reg, nil)
+		reg.Bind(core.CalloutJobManager, &core.PolicyPDP{Policy: voPol})
+		reg.Bind(core.CalloutJobManager, &core.PolicyPDP{Policy: local})
+		reg.SetCalloutOptions(core.CalloutJobManager, o)
+		return reg
+	}
+	run := func(b *testing.B, reg *core.Registry) {
+		b.Helper()
+		for i := 0; i < b.N; i++ {
+			if d := reg.Invoke(core.CalloutJobManager, req); d.Effect != core.Permit {
+				b.Fatal(d.Reason)
+			}
+		}
+	}
+	full := core.CalloutOptions{
+		PDPTimeout: 250 * time.Millisecond,
+		Retries:    2, RetryBackoff: 5 * time.Millisecond,
+		Breaker: true, BreakerThreshold: 5, BreakerCooldown: time.Second,
+	}
+	b.Run("unwrapped", func(b *testing.B) { run(b, newReg(core.CalloutOptions{})) })
+	b.Run("timeout", func(b *testing.B) { run(b, newReg(core.CalloutOptions{PDPTimeout: full.PDPTimeout})) })
+	b.Run("retries", func(b *testing.B) {
+		run(b, newReg(core.CalloutOptions{Retries: full.Retries, RetryBackoff: full.RetryBackoff}))
+	})
+	b.Run("breaker", func(b *testing.B) {
+		run(b, newReg(core.CalloutOptions{Breaker: true,
+			BreakerThreshold: full.BreakerThreshold, BreakerCooldown: full.BreakerCooldown}))
+	})
+	b.Run("full-stack", func(b *testing.B) { run(b, newReg(full)) })
 }
 
 // BenchmarkAblation_CombineModes compares decision-combination

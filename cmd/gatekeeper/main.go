@@ -37,6 +37,7 @@ import (
 	"gridauth/internal/gridmap"
 	"gridauth/internal/gsi"
 	"gridauth/internal/jobcontrol"
+	"gridauth/internal/resilience"
 )
 
 func main() {
@@ -62,6 +63,12 @@ func run(args []string) error {
 	authzCache := fs.Bool("authz-cache", false, "cache callout decisions (sharded TTL decision cache)")
 	authzCacheTTL := fs.Duration("authz-cache-ttl", 5*time.Second, "decision cache entry lifetime (capped at 60s)")
 	authzCacheShards := fs.Int("authz-cache-shards", 16, "decision cache shard count")
+	pdpTimeout := fs.Duration("pdp-timeout", 0, "per-PDP callout deadline (overruns become authorization system failures; 0 disables)")
+	authzRetries := fs.Int("authz-retries", 0, "extra attempts for a PDP answering transient Error (side-effecting PDPs never retry)")
+	authzRetryBackoff := fs.Duration("authz-retry-backoff", 0, "base backoff between authorization retries (0 = default 25ms)")
+	breaker := fs.Bool("breaker", false, "trip a per-PDP circuit breaker on consecutive failures")
+	breakerThreshold := fs.Int("breaker-threshold", 0, "consecutive failures before the breaker opens (0 = default 5)")
+	breakerCooldown := fs.Duration("breaker-cooldown", 0, "open-breaker cooldown before a half-open probe (0 = default 5s)")
 	ticketLifetime := fs.Duration("ticket-lifetime", 0, "GSI session resumption ticket lifetime (0 = default 10m, negative disables resumption)")
 	connWorkers := fs.Int("conn-workers", 0, "max concurrent requests per multiplexed connection (0 = default 8)")
 	handshakeTimeout := fs.Duration("handshake-timeout", 0, "GSI handshake deadline on accepted connections (0 = default 10s, negative disables)")
@@ -136,14 +143,24 @@ func run(args []string) error {
 		if !reg.Configured(core.CalloutJobManager) && !reg.Configured(core.CalloutGatekeeper) {
 			return fmt.Errorf("callout mode needs -vo-policy, -local-policy or -callout-config")
 		}
+		// The resilience wrapper has to be installed whether the knobs
+		// arrive via flags or via a -callout-config "options" line; it is
+		// inert for callout types whose options request nothing.
+		resilience.Install(reg, nil)
 		// Flag-level tuning; a -callout-config "options" line can set the
 		// same knobs per callout type and takes effect above.
-		if *authzParallel || *authzCache {
+		if *authzParallel || *authzCache || *pdpTimeout > 0 || *authzRetries > 0 || *breaker {
 			o := core.CalloutOptions{
-				Parallel:    *authzParallel,
-				Cache:       *authzCache,
-				CacheTTL:    *authzCacheTTL,
-				CacheShards: *authzCacheShards,
+				Parallel:         *authzParallel,
+				Cache:            *authzCache,
+				CacheTTL:         *authzCacheTTL,
+				CacheShards:      *authzCacheShards,
+				PDPTimeout:       *pdpTimeout,
+				Retries:          *authzRetries,
+				RetryBackoff:     *authzRetryBackoff,
+				Breaker:          *breaker,
+				BreakerThreshold: *breakerThreshold,
+				BreakerCooldown:  *breakerCooldown,
 			}
 			for _, t := range []string{core.CalloutJobManager, core.CalloutGatekeeper} {
 				merged := reg.Options(t)
@@ -154,6 +171,22 @@ func run(args []string) error {
 				}
 				if merged.CacheShards == 0 {
 					merged.CacheShards = o.CacheShards
+				}
+				if merged.PDPTimeout == 0 {
+					merged.PDPTimeout = o.PDPTimeout
+				}
+				if merged.Retries == 0 {
+					merged.Retries = o.Retries
+				}
+				if merged.RetryBackoff == 0 {
+					merged.RetryBackoff = o.RetryBackoff
+				}
+				merged.Breaker = merged.Breaker || o.Breaker
+				if merged.BreakerThreshold == 0 {
+					merged.BreakerThreshold = o.BreakerThreshold
+				}
+				if merged.BreakerCooldown == 0 {
+					merged.BreakerCooldown = o.BreakerCooldown
 				}
 				reg.SetCalloutOptions(t, merged)
 			}

@@ -41,12 +41,14 @@ import (
 
 	"gridauth/internal/accounts"
 	"gridauth/internal/allocation"
+	"gridauth/internal/audit"
 	"gridauth/internal/core"
 	"gridauth/internal/gram"
 	"gridauth/internal/gridmap"
 	"gridauth/internal/gsi"
 	"gridauth/internal/jobcontrol"
 	"gridauth/internal/policy"
+	"gridauth/internal/resilience"
 	"gridauth/internal/sandbox"
 	"gridauth/internal/vo"
 )
@@ -179,6 +181,32 @@ type ResourceConfig struct {
 	DecisionCacheTTL time.Duration
 	// DecisionCacheShards is the cache shard count (default 16).
 	DecisionCacheShards int
+	// PDPTimeout bounds every individual PDP evaluation in the callout
+	// chain (internal/resilience). A callout that overruns its deadline
+	// answers Error — an authorization system failure — which stays
+	// fail-closed for job startup and becomes the retryable
+	// authorization-unavailable code for job management. Zero disables
+	// the deadline.
+	PDPTimeout time.Duration
+	// AuthzRetries re-evaluates a PDP that answered Error (transient
+	// authorization system failure) up to this many extra times with
+	// jittered exponential backoff. Side-effecting PDPs (Allocation) are
+	// never retried. Zero disables retries.
+	AuthzRetries int
+	// AuthzRetryBackoff is the base backoff between authorization
+	// retries (default 25ms when AuthzRetries > 0).
+	AuthzRetryBackoff time.Duration
+	// CircuitBreaker trips a per-PDP breaker after BreakerThreshold
+	// consecutive failures: further calls are shed (answered Error
+	// without invoking the PDP) until BreakerCooldown elapses, then a
+	// half-open probe decides recovery. Transitions are audited when
+	// AuditLog is set.
+	CircuitBreaker   bool
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+	// AuditLog, when set, receives the resource's authorization audit
+	// records, including circuit-breaker state transitions.
+	AuditLog *audit.Log
 	// Sandbox attaches a kill-on-violation sandbox monitor to the
 	// resource's scheduler.
 	Sandbox bool
@@ -307,12 +335,25 @@ func (f *Fabric) StartResource(cfg ResourceConfig) (*Resource, error) {
 			}
 		}
 	}
-	if cfg.ParallelAuthz || cfg.DecisionCache {
+	resilient := cfg.PDPTimeout > 0 || cfg.AuthzRetries > 0 || cfg.CircuitBreaker
+	if resilient {
+		// The wrapper must be installed before options that use it take
+		// effect; SetPDPWrapper rebuilds every chain, so order relative
+		// to SetCalloutOptions does not otherwise matter.
+		resilience.Install(reg, cfg.AuditLog)
+	}
+	if cfg.ParallelAuthz || cfg.DecisionCache || resilient {
 		o := core.CalloutOptions{
-			Parallel:    cfg.ParallelAuthz,
-			Cache:       cfg.DecisionCache,
-			CacheTTL:    cfg.DecisionCacheTTL,
-			CacheShards: cfg.DecisionCacheShards,
+			Parallel:         cfg.ParallelAuthz,
+			Cache:            cfg.DecisionCache,
+			CacheTTL:         cfg.DecisionCacheTTL,
+			CacheShards:      cfg.DecisionCacheShards,
+			PDPTimeout:       cfg.PDPTimeout,
+			Retries:          cfg.AuthzRetries,
+			RetryBackoff:     cfg.AuthzRetryBackoff,
+			Breaker:          cfg.CircuitBreaker,
+			BreakerThreshold: cfg.BreakerThreshold,
+			BreakerCooldown:  cfg.BreakerCooldown,
 		}
 		reg.SetCalloutOptions(core.CalloutJobManager, o)
 		reg.SetCalloutOptions(core.CalloutGatekeeper, o)

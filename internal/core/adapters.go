@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"os"
 
@@ -16,14 +17,33 @@ type PolicyPDP struct {
 	Policy *policy.Policy
 }
 
-var _ PDP = (*PolicyPDP)(nil)
+var (
+	_ ContextPDP     = (*PolicyPDP)(nil)
+	_ NonBlockingPDP = (*PolicyPDP)(nil)
+)
 
 // Name implements PDP.
 func (p *PolicyPDP) Name() string { return "policy:" + p.Policy.Source }
 
+// NonBlocking implements NonBlockingPDP: evaluation is an in-memory
+// scan of parsed statements and cannot hang.
+func (p *PolicyPDP) NonBlocking() bool { return true }
+
 // Authorize implements PDP.
 func (p *PolicyPDP) Authorize(req *Request) Decision {
 	return evaluatePolicy(p.Name(), p.Policy, req)
+}
+
+// AuthorizeContext implements ContextPDP. In-process policy evaluation
+// is microsecond-scale and cannot hang, so honouring the context is a
+// pre-check: a dead context fails closed with Error, a live one
+// evaluates synchronously. Declaring context-awareness lets timeout
+// wrappers (internal/resilience) skip their watchdog goroutine.
+func (p *PolicyPDP) AuthorizeContext(ctx context.Context, req *Request) Decision {
+	if err := ctx.Err(); err != nil {
+		return ErrorDecision(p.Name(), "request abandoned: "+err.Error())
+	}
+	return p.Authorize(req)
 }
 
 // evaluatePolicy runs one policy over a request and maps the engine's
@@ -59,15 +79,31 @@ type StorePDP struct {
 	Store *policy.Store
 }
 
-var _ PDP = (*StorePDP)(nil)
+var (
+	_ ContextPDP     = (*StorePDP)(nil)
+	_ NonBlockingPDP = (*StorePDP)(nil)
+)
 
 // Name implements PDP.
 func (p *StorePDP) Name() string { return "policy-store:" + p.Store.Source() }
+
+// NonBlocking implements NonBlockingPDP (see PolicyPDP; the store read
+// is a mutex-guarded pointer load).
+func (p *StorePDP) NonBlocking() bool { return true }
 
 // Authorize implements PDP: it evaluates against the policy current at
 // call time.
 func (p *StorePDP) Authorize(req *Request) Decision {
 	return evaluatePolicy(p.Name(), p.Store.Current(), req)
+}
+
+// AuthorizeContext implements ContextPDP (see PolicyPDP: a pre-check,
+// since in-process evaluation cannot hang).
+func (p *StorePDP) AuthorizeContext(ctx context.Context, req *Request) Decision {
+	if err := ctx.Err(); err != nil {
+		return ErrorDecision(p.Name(), "request abandoned: "+err.Error())
+	}
+	return p.Authorize(req)
 }
 
 // SelfOnlyPDP reproduces the stock GT2 job-management rule: "the Grid
@@ -77,10 +113,14 @@ func (p *StorePDP) Authorize(req *Request) Decision {
 // startup in stock GT2.
 type SelfOnlyPDP struct{}
 
-var _ PDP = SelfOnlyPDP{}
+var _ NonBlockingPDP = SelfOnlyPDP{}
 
 // Name implements PDP.
 func (SelfOnlyPDP) Name() string { return "gt2-self-only" }
+
+// NonBlocking implements NonBlockingPDP: the rule is a field
+// comparison.
+func (SelfOnlyPDP) NonBlocking() bool { return true }
 
 // Authorize implements PDP.
 func (s SelfOnlyPDP) Authorize(req *Request) Decision {

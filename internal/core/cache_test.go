@@ -209,6 +209,40 @@ func TestCachedPDP(t *testing.T) {
 	}
 }
 
+// TestCachedPDPNeverPinsErrors is the dispatch-level guarantee behind
+// TestDecisionCacheOnlyCachesPermitAndDeny: an Error decision (transient
+// authorization system failure) flowing through a CachedPDP must be
+// re-evaluated on every request — a cached Error would pin an outage for
+// a whole TTL — and the recovery decision that follows IS cached.
+func TestCachedPDPNeverPinsErrors(t *testing.T) {
+	inner := &countingPDP{name: "vo"}
+	inner.d = func(*Request) Decision {
+		if inner.calls.Load() <= 2 {
+			return ErrorDecision("vo", "backend down")
+		}
+		return PermitDecision("vo", "recovered")
+	}
+	cached := &CachedPDP{Inner: inner, Cache: NewDecisionCache(CacheConfig{}), Scope: "t"}
+	req := &Request{Subject: bo, Action: policy.ActionStart}
+	for i := 0; i < 2; i++ {
+		if d := cached.Authorize(req); d.Effect != Error {
+			t.Fatalf("call %d = %v, want the live Error", i, d.Effect)
+		}
+	}
+	if n := inner.calls.Load(); n != 2 {
+		t.Fatalf("inner evaluated %d times during the outage, want 2 (Error was served from cache)", n)
+	}
+	// The backend healed: the next request reaches it and its permit is
+	// cached for the ones after.
+	if d := cached.Authorize(req); d.Effect != Permit {
+		t.Fatalf("post-recovery decision = %v, want Permit", d.Effect)
+	}
+	cached.Authorize(req)
+	if n := inner.calls.Load(); n != 3 {
+		t.Errorf("inner evaluated %d times, want 3: the recovery permit should be cached", n)
+	}
+}
+
 // TestDecisionCachePutStaleEpoch: a Put carrying an epoch observed
 // before an Invalidate must not publish the decision — it was computed
 // against the old policy.

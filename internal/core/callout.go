@@ -29,6 +29,7 @@ const (
 // EVALUATED rather than binding a PDP:
 //
 //	globus_gram_jobmanager_authz options mode=parallel cache=on cache-ttl=5s cache-shards=32
+//	globus_gram_jobmanager_authz options pdp-timeout=500ms retries=2 breaker=on
 //
 // It cannot be registered as a driver name.
 const OptionsDirective = "options"
@@ -67,7 +68,42 @@ type CalloutOptions struct {
 	// CacheShards is the shard count (default 16, rounded to a power of
 	// two).
 	CacheShards int
+	// PDPTimeout bounds each chain member's evaluation per callout; an
+	// overrun becomes an Error decision (authorization system failure).
+	// Applied by the installed PDP wrapper (internal/resilience); 0
+	// disables.
+	PDPTimeout time.Duration
+	// Retries is how many extra attempts a transient Error decision
+	// gets, with jittered exponential backoff (0 disables). Permit,
+	// Deny and NotApplicable never retry, and side-effecting PDPs are
+	// never retried regardless.
+	Retries int
+	// RetryBackoff is the base backoff before the first retry (0
+	// selects the resilience default, 25ms).
+	RetryBackoff time.Duration
+	// Breaker enables a per-PDP circuit breaker: consecutive Error
+	// decisions trip it open and calls are shed (failing fast with an
+	// Error decision) until a cooldown probe succeeds.
+	Breaker bool
+	// BreakerThreshold is the consecutive-failure trip point (0 selects
+	// 5).
+	BreakerThreshold int
+	// BreakerCooldown is the open → half-open delay (0 selects 5s).
+	BreakerCooldown time.Duration
 }
+
+// resilient reports whether the options ask for any per-PDP
+// protection, i.e. whether the installed PDP wrapper has work to do.
+func (o CalloutOptions) resilient() bool {
+	return o.PDPTimeout > 0 || o.Retries > 0 || o.Breaker
+}
+
+// PDPWrapper decorates each member of a callout chain when the chain
+// is rebuilt. It is how the resilience layer (internal/resilience)
+// injects timeout, retry and circuit-breaker wrappers without a
+// core → resilience dependency: the registry parses the knobs
+// (CalloutOptions), the wrapper implements them.
+type PDPWrapper func(pdp PDP, o CalloutOptions) PDP
 
 // Registry maps abstract callout types to configured PDP chains, and
 // driver names to factories. It is the Go analogue of the prototype's
@@ -88,6 +124,7 @@ type Registry struct {
 	caches   map[string]*DecisionCache
 	chains   map[string]PDP
 	mode     CombineMode
+	wrapper  PDPWrapper
 }
 
 // NewRegistry returns a registry combining each callout type's PDPs with
@@ -109,6 +146,19 @@ func (r *Registry) SetMode(mode CombineMode) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.mode = mode
+	for t := range r.callouts {
+		r.rebuildLocked(t)
+	}
+}
+
+// SetPDPWrapper installs (or, with nil, removes) the decorator applied
+// to every chain member on rebuild, and rebuilds all chains. Callout
+// types whose options request no protection are unaffected — the
+// wrapper is consulted but expected to return the PDP unchanged.
+func (r *Registry) SetPDPWrapper(w PDPWrapper) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.wrapper = w
 	for t := range r.callouts {
 		r.rebuildLocked(t)
 	}
@@ -228,6 +278,13 @@ func (r *Registry) rebuildLocked(calloutType string) {
 		return
 	}
 	o := r.opts[calloutType]
+	if r.wrapper != nil && o.resilient() {
+		wrapped := make([]PDP, len(pdps))
+		for i, p := range pdps {
+			wrapped[i] = r.wrapper(p, o)
+		}
+		pdps = wrapped
+	}
 	var chain PDP
 	if o.Parallel {
 		chain = NewParallelCombined(r.mode, pdps...)
@@ -286,8 +343,47 @@ func parseCalloutOptions(base CalloutOptions, params map[string]string) (Callout
 				return o, fmt.Errorf("cache-shards must be a positive integer, got %q", v)
 			}
 			o.CacheShards = n
+		case "pdp-timeout":
+			d, err := time.ParseDuration(v)
+			if err != nil || d <= 0 {
+				return o, fmt.Errorf("pdp-timeout must be a positive duration, got %q", v)
+			}
+			o.PDPTimeout = d
+		case "retries":
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 0 {
+				return o, fmt.Errorf("retries must be a non-negative integer, got %q", v)
+			}
+			o.Retries = n
+		case "retry-backoff":
+			d, err := time.ParseDuration(v)
+			if err != nil || d <= 0 {
+				return o, fmt.Errorf("retry-backoff must be a positive duration, got %q", v)
+			}
+			o.RetryBackoff = d
+		case "breaker":
+			switch v {
+			case "on":
+				o.Breaker = true
+			case "off":
+				o.Breaker = false
+			default:
+				return o, fmt.Errorf("breaker must be on or off, got %q", v)
+			}
+		case "breaker-threshold":
+			n, err := strconv.Atoi(v)
+			if err != nil || n <= 0 {
+				return o, fmt.Errorf("breaker-threshold must be a positive integer, got %q", v)
+			}
+			o.BreakerThreshold = n
+		case "breaker-cooldown":
+			d, err := time.ParseDuration(v)
+			if err != nil || d <= 0 {
+				return o, fmt.Errorf("breaker-cooldown must be a positive duration, got %q", v)
+			}
+			o.BreakerCooldown = d
 		default:
-			return o, fmt.Errorf("unknown option %q (want mode, cache, cache-ttl, cache-shards)", k)
+			return o, fmt.Errorf("unknown option %q (want mode, cache, cache-ttl, cache-shards, pdp-timeout, retries, retry-backoff, breaker, breaker-threshold, breaker-cooldown)", k)
 		}
 	}
 	return o, nil

@@ -1,0 +1,132 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"gridauth/internal/policy"
+)
+
+// TestCombinersErrorSemantics pins down how an Error decision — the
+// paper's "authorization system failure" class, and the effect every
+// resilience degradation (timeout, open breaker) collapses into —
+// propagates through BOTH combiners under EVERY combination mode. The
+// two combiners must agree case by case: the parallel combiner's whole
+// correctness claim is "same decision as sequential, sooner".
+func TestCombinersErrorSemantics(t *testing.T) {
+	req := &Request{Subject: bo, Action: policy.ActionStart}
+	chains := []struct {
+		name string
+		pdps func() []PDP
+		want map[CombineMode]Effect
+	}{
+		{
+			name: "error alone",
+			pdps: func() []PDP { return []PDP{errorAll("vo")} },
+			want: map[CombineMode]Effect{
+				RequireAllPermit: Error,
+				DenyOverrides:    Error,
+				PermitOverrides:  Error,
+				FirstApplicable:  Deny, // no applicable decision -> default deny
+			},
+		},
+		{
+			name: "error then permit",
+			pdps: func() []PDP { return []PDP{errorAll("vo"), permitAll("local")} },
+			want: map[CombineMode]Effect{
+				RequireAllPermit: Error,
+				DenyOverrides:    Error,
+				PermitOverrides:  Permit,
+				FirstApplicable:  Permit,
+			},
+		},
+		{
+			name: "permit then error",
+			pdps: func() []PDP { return []PDP{permitAll("vo"), errorAll("local")} },
+			want: map[CombineMode]Effect{
+				RequireAllPermit: Error,
+				DenyOverrides:    Error,
+				PermitOverrides:  Permit,
+				FirstApplicable:  Permit,
+			},
+		},
+		{
+			name: "error then deny",
+			pdps: func() []PDP { return []PDP{errorAll("vo"), denyAll("local")} },
+			want: map[CombineMode]Effect{
+				RequireAllPermit: Error,
+				DenyOverrides:    Error,
+				PermitOverrides:  Error, // first non-permit wins; the error came first
+				FirstApplicable:  Deny,
+			},
+		},
+		{
+			name: "deny then error",
+			pdps: func() []PDP { return []PDP{denyAll("vo"), errorAll("local")} },
+			want: map[CombineMode]Effect{
+				RequireAllPermit: Deny, // the deny resolves before the error is needed
+				DenyOverrides:    Deny,
+				PermitOverrides:  Deny,
+				FirstApplicable:  Deny,
+			},
+		},
+		{
+			name: "abstain then error",
+			pdps: func() []PDP { return []PDP{abstainAll("vo"), errorAll("local")} },
+			want: map[CombineMode]Effect{
+				RequireAllPermit: Error,
+				DenyOverrides:    Error,
+				PermitOverrides:  Error,
+				FirstApplicable:  Deny,
+			},
+		},
+	}
+	combiners := []struct {
+		name  string
+		build func(CombineMode, ...PDP) PDP
+	}{
+		{"sequential", func(m CombineMode, pdps ...PDP) PDP { return NewCombined(m, pdps...) }},
+		{"parallel", func(m CombineMode, pdps ...PDP) PDP { return NewParallelCombined(m, pdps...) }},
+	}
+	modes := []CombineMode{RequireAllPermit, DenyOverrides, PermitOverrides, FirstApplicable}
+	for _, comb := range combiners {
+		for _, chain := range chains {
+			for _, mode := range modes {
+				t.Run(fmt.Sprintf("%s/%s/%s", comb.name, chain.name, mode), func(t *testing.T) {
+					d := comb.build(mode, chain.pdps()...).Authorize(req)
+					if d.Effect != chain.want[mode] {
+						t.Fatalf("Effect = %v (%s: %s), want %v", d.Effect, d.Source, d.Reason, chain.want[mode])
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestCombinersErrorShortCircuitsSideEffects covers the lazy
+// EffectfulPDP path under failure: when an earlier source answers Error,
+// a side-effecting PDP later in the chain (the allocation PDP's
+// position) must not run at all — in either combiner — because its
+// effect (a budget reservation) would be attached to a request that is
+// about to be refused, and nothing would ever release it.
+func TestCombinersErrorShortCircuitsSideEffects(t *testing.T) {
+	req := &Request{Subject: bo, Action: policy.ActionStart}
+	for _, comb := range []struct {
+		name  string
+		build func(CombineMode, ...PDP) PDP
+	}{
+		{"sequential", func(m CombineMode, pdps ...PDP) PDP { return NewCombined(m, pdps...) }},
+		{"parallel", func(m CombineMode, pdps ...PDP) PDP { return NewParallelCombined(m, pdps...) }},
+	} {
+		t.Run(comb.name, func(t *testing.T) {
+			eff := newEffectPDP("alloc", true, PermitDecision("alloc", "reserved"))
+			d := comb.build(RequireAllPermit, errorAll("vo"), eff).Authorize(req)
+			if d.Effect != Error {
+				t.Fatalf("Effect = %v, want Error", d.Effect)
+			}
+			if n := eff.calls.Load(); n != 0 {
+				t.Fatalf("side-effecting PDP ran %d times behind an Error, want 0", n)
+			}
+		})
+	}
+}

@@ -49,6 +49,26 @@ func IsSideEffecting(p PDP) bool {
 	return ok && e.SideEffecting()
 }
 
+// NonBlockingPDP is optionally implemented by PDPs whose evaluation is
+// purely in-process — no network round trip, no I/O, no waiting on
+// other goroutines — and therefore cannot hang. Timeout wrappers
+// (internal/resilience) skip their deadline machinery for such PDPs: a
+// per-callout deadline exists to bound evaluations that might outlive
+// it, and arming one around a microsecond-scale memory computation is
+// pure overhead. Declaring it waives the timeout entirely, so only a
+// PDP that provably cannot block should.
+type NonBlockingPDP interface {
+	PDP
+	// NonBlocking reports that evaluation cannot block.
+	NonBlocking() bool
+}
+
+// IsNonBlocking reports whether p declares itself non-blocking.
+func IsNonBlocking(p PDP) bool {
+	nb, ok := p.(NonBlockingPDP)
+	return ok && nb.NonBlocking()
+}
+
 // ParallelCombined is a PDP that merges the decisions of several PDPs
 // like Combined, but evaluates the children concurrently: one goroutine
 // per child, with the results consumed strictly in configuration order

@@ -2,12 +2,15 @@ package gram
 
 import (
 	"bufio"
+	"context"
 	"errors"
 	"fmt"
 	"net"
 	"sync"
+	"syscall"
 
 	"gridauth/internal/gsi"
+	"gridauth/internal/resilience"
 )
 
 // JobStatus is the client's view of a managed job. The Owner field is the
@@ -36,6 +39,13 @@ type Client struct {
 	addr     string
 	auth     *gsi.Authenticator
 	sessions *gsi.SessionCache
+
+	// retry (guarded by mu) is the ONE policy governing both of the
+	// client's recovery paths: redialing when a GSI session resumption
+	// dies mid-handshake or the connection resets, and re-asking when a
+	// management reply carries the retryable
+	// CodeAuthorizationUnavailable. See SetRetryPolicy.
+	retry resilience.Policy
 
 	// mu guards the connection lifecycle, the pending map and — on a
 	// version-1 connection — the whole round trip.
@@ -68,30 +78,58 @@ func NewClient(addr string, cred *gsi.Credential, trust *gsi.TrustStore, asserti
 		auth:     gsi.NewAuthenticator(cred, trust, opts...),
 		sessions: sessions,
 		pending:  make(map[uint64]chan *Message),
+		// Two attempts preserves the historical "retry a failed session
+		// resumption once" behavior and gives management requests one
+		// backed-off retry when the authorization system is degraded.
+		retry: resilience.Policy{Attempts: 2},
 	}
+}
+
+// SetRetryPolicy replaces the client's retry policy. Per the degraded-
+// mode design there is deliberately one policy, not two: transient
+// transport failures (connection reset during a resumed handshake) and
+// transient authorization failures (CodeAuthorizationUnavailable on a
+// management reply) are the same class of fault — the far side is
+// momentarily undecided, not refusing — and should be paced the same
+// way. Policy{Attempts: 1} disables retries entirely.
+func (c *Client) SetRetryPolicy(p resilience.Policy) {
+	c.mu.Lock()
+	c.retry = p
+	c.mu.Unlock()
 }
 
 // dial establishes a new authenticated connection, resuming a cached
 // GSI session when possible. A resumption attempt that dies mid-protocol
 // (say, the server restarted and lost its ticket key *and* the
-// connection) is retried once on a fresh connection; the failed attempt
-// already invalidated the session, so the retry runs a full handshake.
+// connection) or a connection reset during the handshake is transient:
+// the failed attempt already invalidated the session, so a retry — paced
+// by the client's retry policy — runs a full handshake on a fresh
+// connection. A plain dial refusal (nothing listening, unreachable host)
+// is NOT transient and fails fast. Caller holds c.mu.
 func (c *Client) dial() (net.Conn, *bufio.Reader, *gsi.Peer, error) {
-	for attempt := 0; ; attempt++ {
-		conn, err := net.Dial("tcp", c.addr)
+	var (
+		conn net.Conn
+		br   *bufio.Reader
+		peer *gsi.Peer
+	)
+	err := c.retry.Do(context.Background(), func(int) (error, bool) {
+		nc, err := net.Dial("tcp", c.addr)
 		if err != nil {
-			return nil, nil, nil, fmt.Errorf("gram: dial %s: %w", c.addr, err)
+			return fmt.Errorf("gram: dial %s: %w", c.addr, err), false
 		}
-		peer, br, err := c.auth.HandshakeClient(conn, c.addr)
+		p, r, err := c.auth.HandshakeClient(nc, c.addr)
 		if err == nil {
-			return conn, br, peer, nil
+			conn, br, peer = nc, r, p
+			return nil, false
 		}
-		conn.Close()
-		if attempt == 0 && errors.Is(err, gsi.ErrResumeFailed) {
-			continue
-		}
-		return nil, nil, nil, fmt.Errorf("gram: authenticate to %s: %w", c.addr, err)
+		nc.Close()
+		transient := errors.Is(err, gsi.ErrResumeFailed) || errors.Is(err, syscall.ECONNRESET)
+		return fmt.Errorf("gram: authenticate to %s: %w", c.addr, err), transient
+	})
+	if err != nil {
+		return nil, nil, nil, err
 	}
+	return conn, br, peer, nil
 }
 
 // connect establishes (or reuses) the authenticated channel. Caller
@@ -223,6 +261,37 @@ func (c *Client) roundTrip(m *Message) (*Message, error) {
 	return reply, nil
 }
 
+// manageRoundTrip is roundTrip for management requests: a reply whose
+// error is the retryable CodeAuthorizationUnavailable (the
+// authorization system failed transiently while deciding — callout
+// timeout, open circuit breaker) is re-asked under the client's retry
+// policy with backoff. Transport errors are not retried here; the next
+// call transparently reconnects. Submit does NOT go through this path:
+// an undecidable startup is fail-closed and final (see
+// decisionToProto).
+func (c *Client) manageRoundTrip(m *Message) (*Message, error) {
+	c.mu.Lock()
+	pol := c.retry
+	c.mu.Unlock()
+	var reply *Message
+	err := pol.Do(context.Background(), func(int) (error, bool) {
+		reply = nil
+		r, err := c.roundTrip(m)
+		if err != nil {
+			return err, false
+		}
+		reply = r
+		if r.Err != nil && r.Err.Code == CodeAuthorizationUnavailable {
+			return r.Err, true
+		}
+		return nil, false
+	})
+	if reply == nil {
+		return nil, err
+	}
+	return reply, nil
+}
+
 // Submit sends a job request with the given RSL text and optional
 // account, returning the job contact.
 func (c *Client) Submit(rslText, account string) (string, error) {
@@ -241,7 +310,7 @@ func (c *Client) Submit(rslText, account string) (string, error) {
 
 // Status queries a job. Any authenticated user may ask; policy decides.
 func (c *Client) Status(contact string) (*JobStatus, error) {
-	reply, err := c.roundTrip(&Message{Type: MsgManage, JobContact: contact, Action: ManageStatus})
+	reply, err := c.manageRoundTrip(&Message{Type: MsgManage, JobContact: contact, Action: ManageStatus})
 	if err != nil {
 		return nil, err
 	}
@@ -258,7 +327,7 @@ func (c *Client) Status(contact string) (*JobStatus, error) {
 
 // Cancel terminates a job.
 func (c *Client) Cancel(contact string) error {
-	reply, err := c.roundTrip(&Message{Type: MsgManage, JobContact: contact, Action: ManageCancel})
+	reply, err := c.manageRoundTrip(&Message{Type: MsgManage, JobContact: contact, Action: ManageCancel})
 	if err != nil {
 		return err
 	}
@@ -270,7 +339,7 @@ func (c *Client) Cancel(contact string) error {
 
 // Signal sends a job management signal (suspend, resume, priority).
 func (c *Client) Signal(contact, signal, arg string) error {
-	reply, err := c.roundTrip(&Message{
+	reply, err := c.manageRoundTrip(&Message{
 		Type:       MsgManage,
 		JobContact: contact,
 		Action:     ManageSignal,
@@ -298,4 +367,15 @@ func IsAuthorizationDenied(err error) bool {
 func IsAuthorizationFailure(err error) bool {
 	var pe *ProtoError
 	return errors.As(err, &pe) && pe.Code == CodeAuthorizationFailure
+}
+
+// IsAuthorizationUnavailable reports whether err is the RETRYABLE
+// authorization failure surfaced for management requests: the
+// authorization system failed transiently while deciding, nothing was
+// decided about the job, and a later retry may succeed. Callers that
+// exhaust their retry budget can distinguish "the grid said no"
+// (IsAuthorizationDenied) from "the grid could not answer" with this.
+func IsAuthorizationUnavailable(err error) bool {
+	var pe *ProtoError
+	return errors.As(err, &pe) && pe.Code == CodeAuthorizationUnavailable
 }

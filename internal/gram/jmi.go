@@ -210,7 +210,7 @@ func (j *JMI) authorize(ctx context.Context, peer *Peer, action string) *ProtoEr
 			JobOwner:   j.Owner,
 			Spec:       j.Spec,
 		}
-		return decisionToProto(j.registry.InvokeContext(ctx, core.CalloutJobManager, req))
+		return decisionToProtoManagement(j.registry.InvokeContext(ctx, core.CalloutJobManager, req))
 	default:
 		return &ProtoError{Code: CodeInternal, Message: "unknown authorization mode"}
 	}
@@ -327,7 +327,11 @@ func lrmError(err error) *ProtoError {
 }
 
 // decisionToProto converts a callout decision into the protocol's
-// authorization error classes (nil for permits).
+// authorization error classes (nil for permits). It is the STARTUP
+// mapping: an authorization system failure is a hard
+// CodeAuthorizationFailure, because an undecidable startup must stay
+// fail-closed — nothing was admitted and nothing exists to retry
+// against (the paper's default-deny assertion model).
 func decisionToProto(d core.Decision) *ProtoError {
 	switch d.Effect {
 	case core.Permit:
@@ -337,4 +341,20 @@ func decisionToProto(d core.Decision) *ProtoError {
 	default:
 		return &ProtoError{Code: CodeAuthorizationFailure, Source: d.Source, Message: d.Reason}
 	}
+}
+
+// decisionToProtoManagement is the MANAGEMENT mapping: denial is still
+// a hard CodeAuthorizationDenied, but an authorization system failure
+// becomes the retryable CodeAuthorizationUnavailable — the job exists,
+// nothing about it was decided, and a client that backs off and
+// retries will get an answer once the callout recovers (see
+// Client.SetRetryPolicy). Degrading management to "try again" instead
+// of a hard error is safe because no action was taken; degrading it to
+// "permitted" never happens.
+func decisionToProtoManagement(d core.Decision) *ProtoError {
+	perr := decisionToProto(d)
+	if perr != nil && perr.Code == CodeAuthorizationFailure {
+		perr.Code = CodeAuthorizationUnavailable
+	}
+	return perr
 }

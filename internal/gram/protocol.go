@@ -73,6 +73,17 @@ const (
 	CodeLocalScheduler
 	// CodeInternal: anything else.
 	CodeInternal
+	// CodeAuthorizationUnavailable: the authorization system failed
+	// transiently while deciding a MANAGEMENT request (callout timeout,
+	// open circuit breaker, unreachable PDP). Unlike
+	// CodeAuthorizationFailure it is RETRYABLE: the job exists and
+	// nothing was decided about it, so the client should back off and
+	// retry. Job STARTUP never uses it — a startup the authorization
+	// system could not decide is refused outright (fail-closed,
+	// CodeAuthorizationFailure), per the paper's default-deny model.
+	// Appended after CodeInternal so every pre-existing code keeps its
+	// wire value for old peers.
+	CodeAuthorizationUnavailable
 )
 
 // String returns the code name.
@@ -96,6 +107,8 @@ func (c Code) String() string {
 		return "bad-job-state"
 	case CodeLocalScheduler:
 		return "local-scheduler-error"
+	case CodeAuthorizationUnavailable:
+		return "authorization-unavailable"
 	default:
 		return "internal-error"
 	}

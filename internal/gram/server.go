@@ -563,7 +563,7 @@ func (g *Gatekeeper) handleManage(ctx context.Context, peer *Peer, msg *Message)
 			JobOwner:   jmi.Owner,
 			Spec:       jmi.Spec,
 		}
-		if perr := decisionToProto(g.cfg.Registry.InvokeContext(ctx, core.CalloutGatekeeper, req)); perr != nil {
+		if perr := decisionToProtoManagement(g.cfg.Registry.InvokeContext(ctx, core.CalloutGatekeeper, req)); perr != nil {
 			return manageError(perr)
 		}
 		return jmi.managePreauthorized(msg)

@@ -1,0 +1,128 @@
+package resilience
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// lazyDeadline is a context.Context for the common attempt shape — an
+// uncancellable parent plus a per-attempt deadline — that defers the
+// expensive part of context.WithTimeout: no timer is armed and no Done
+// channel exists until a caller actually blocks on Done(). A
+// context-aware PDP that answers quickly (the in-process policy
+// engines) pays one small allocation and two clock reads instead of a
+// timer arm/stop pair per attempt, which is what keeps the wrapped
+// happy path within a few percent of unwrapped
+// (BenchmarkP9_ResilienceOverhead).
+//
+// It is only valid when parent.Done() == nil (context.Background and
+// friends): with no parent cancellation to propagate, the deadline
+// timer is the sole Done trigger, so it can be created on demand.
+type lazyDeadline struct {
+	parent   context.Context
+	deadline time.Time
+
+	// state: 0 live, 1 deadline exceeded, 2 canceled. Err reads it
+	// lock-free; the mutex below only guards the Done machinery.
+	state atomic.Int32
+	armed atomic.Bool // Done has been called
+
+	mu    sync.Mutex
+	done  chan struct{}
+	timer *time.Timer
+}
+
+const (
+	ldLive = iota
+	ldExpired
+	ldCanceled
+)
+
+// newLazyDeadline builds the context. The caller must call cancel when
+// the attempt resolves (the defer-cancel contract of WithTimeout).
+func newLazyDeadline(parent context.Context, timeout time.Duration) *lazyDeadline {
+	return &lazyDeadline{parent: parent, deadline: time.Now().Add(timeout)}
+}
+
+// Deadline implements context.Context.
+func (c *lazyDeadline) Deadline() (time.Time, bool) {
+	if pd, ok := c.parent.Deadline(); ok && pd.Before(c.deadline) {
+		return pd, true
+	}
+	return c.deadline, true
+}
+
+// Value implements context.Context by deferring to the parent.
+func (c *lazyDeadline) Value(key any) any { return c.parent.Value(key) }
+
+// Err implements context.Context: DeadlineExceeded once the deadline
+// passes, Canceled once the attempt is over.
+func (c *lazyDeadline) Err() error {
+	switch c.state.Load() {
+	case ldExpired:
+		return context.DeadlineExceeded
+	case ldCanceled:
+		return context.Canceled
+	}
+	if !time.Now().Before(c.deadline) {
+		c.state.CompareAndSwap(ldLive, ldExpired)
+		return context.DeadlineExceeded
+	}
+	return nil
+}
+
+// Done implements context.Context, arming the deadline timer on first
+// use.
+func (c *lazyDeadline) Done() <-chan struct{} {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.done == nil {
+		c.done = make(chan struct{})
+		if c.Err() != nil {
+			close(c.done)
+		} else {
+			c.timer = time.AfterFunc(time.Until(c.deadline), c.expire)
+		}
+		c.armed.Store(true)
+	}
+	return c.done
+}
+
+func (c *lazyDeadline) expire() {
+	c.state.CompareAndSwap(ldLive, ldExpired)
+	c.mu.Lock()
+	select {
+	case <-c.done:
+	default:
+		close(c.done)
+	}
+	c.mu.Unlock()
+}
+
+// cancel releases the attempt's resources, like a WithTimeout
+// CancelFunc: it marks the context canceled and, if Done was armed,
+// stops the timer and closes the channel. A Done call racing cancel
+// from another goroutine may leave the timer to fire at the deadline;
+// the firing is harmless (the state is already canceled) and the
+// attempt it would have bounded is long resolved.
+func (c *lazyDeadline) cancel() {
+	c.state.CompareAndSwap(ldLive, ldCanceled)
+	if !c.armed.Load() {
+		return
+	}
+	c.mu.Lock()
+	if c.timer != nil {
+		c.timer.Stop()
+		c.timer = nil
+	}
+	if c.done != nil {
+		select {
+		case <-c.done:
+		default:
+			close(c.done)
+		}
+	}
+	c.mu.Unlock()
+}

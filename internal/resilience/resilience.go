@@ -1,0 +1,216 @@
+package resilience
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"gridauth/internal/audit"
+	"gridauth/internal/core"
+)
+
+// Options selects which protections Wrap applies. The zero value
+// applies none (Wrap returns the PDP unchanged).
+type Options struct {
+	// Timeout bounds one callout attempt. A context-aware PDP gets a
+	// deadline context; a plain PDP runs under a watchdog goroutine and
+	// an overrun is converted into an Error decision (the abandoned
+	// evaluation's late result is discarded). 0 disables.
+	Timeout time.Duration
+	// Retry re-runs attempts whose decision is Error (the transient
+	// "authorization system failure" class — Permit, Deny and
+	// NotApplicable never retry). Retry.Attempts <= 1 disables.
+	Retry Policy
+	// Breaker, when non-nil, sheds calls after consecutive Error
+	// decisions instead of stacking timeouts onto a dead backend.
+	Breaker *BreakerConfig
+	// Audit, when non-nil, records breaker state transitions as
+	// audit records (PDP = wrapped PDP's name, Action =
+	// "circuit-breaker").
+	Audit *audit.Log
+}
+
+// Resilient wraps a PDP with the protections selected by Options. It
+// forwards SideEffecting, and for a side-effecting inner PDP it never
+// retries and never abandons an attempt (both could fire — or
+// double-fire — the side effect for a request whose decision is then
+// discarded); such a PDP gets the deadline context only.
+type Resilient struct {
+	inner       core.PDP
+	ctxInner    core.ContextPDP // inner, when context-aware (else nil)
+	name        string          // precomputed: combiners call Name per decision
+	effectful   bool
+	nonBlocking bool // inner cannot hang; the deadline would bound nothing
+	timeout     time.Duration
+	retry       Policy // normalized; Attempts <= 1 means "never retry"
+	breaker     *Breaker
+}
+
+var (
+	_ core.ContextPDP   = (*Resilient)(nil)
+	_ core.EffectfulPDP = (*Resilient)(nil)
+)
+
+// Wrap applies o's protections to p, innermost timeout first, then
+// retries, then the breaker (a shed call fails fast without burning
+// retry budget). With a zero Options it returns p unchanged.
+func Wrap(p core.PDP, o Options) core.PDP {
+	if o.Timeout <= 0 && o.Retry.Attempts <= 1 && o.Breaker == nil {
+		return p
+	}
+	r := &Resilient{
+		inner:       p,
+		name:        "resilient(" + p.Name() + ")",
+		timeout:     o.Timeout,
+		effectful:   core.IsSideEffecting(p),
+		nonBlocking: core.IsNonBlocking(p),
+	}
+	r.ctxInner, _ = p.(core.ContextPDP)
+	if o.Retry.Attempts > 1 {
+		r.retry = o.Retry.withDefaults()
+	}
+	if o.Breaker != nil {
+		cfg := *o.Breaker
+		if log := o.Audit; log != nil {
+			name, prev := p.Name(), cfg.OnStateChange
+			cfg.OnStateChange = func(from, to BreakerState, reason string) {
+				log.Append(audit.Record{
+					Action: "circuit-breaker",
+					PDP:    name,
+					Effect: to.String(),
+					Source: from.String(),
+					Reason: reason,
+				})
+				if prev != nil {
+					prev(from, to, reason)
+				}
+			}
+		}
+		r.breaker = NewBreaker(cfg)
+	}
+	return r
+}
+
+// Name implements core.PDP.
+func (r *Resilient) Name() string { return r.name }
+
+// SideEffecting implements core.EffectfulPDP by forwarding the inner
+// PDP's declaration, so combiners and caches treat the wrapped PDP
+// exactly like the bare one.
+func (r *Resilient) SideEffecting() bool { return r.effectful }
+
+// Breaker exposes the per-PDP circuit breaker (nil when not enabled).
+func (r *Resilient) Breaker() *Breaker { return r.breaker }
+
+// Authorize implements core.PDP.
+func (r *Resilient) Authorize(req *core.Request) core.Decision {
+	return r.AuthorizeContext(context.Background(), req)
+}
+
+// AuthorizeContext implements core.ContextPDP: breaker check, then
+// bounded attempts, each under the per-callout deadline.
+func (r *Resilient) AuthorizeContext(ctx context.Context, req *core.Request) core.Decision {
+	if r.breaker != nil && !r.breaker.Allow() {
+		return core.ErrorDecision(r.Name(),
+			fmt.Sprintf("circuit open: %s is shedding calls while %s recovers", r.Name(), r.inner.Name()))
+	}
+	d := r.attempt(ctx, req)
+	// Inline retry loop rather than Policy.Do: the happy path (one
+	// attempt, no Error) must not pay for a closure or an error value it
+	// will never use. A side-effecting inner PDP never retries (the
+	// effect of a discarded attempt would have fired anyway).
+	if r.retry.Attempts > 1 && !r.effectful {
+		for try := 1; try < r.retry.Attempts && d.Effect == core.Error && ctx.Err() == nil; try++ {
+			if r.retry.Sleep(ctx, r.retry.Delay(try-1)) != nil {
+				break
+			}
+			d = r.attempt(ctx, req)
+		}
+	}
+	if r.breaker != nil {
+		if d.Effect == core.Error {
+			r.breaker.Failure(d.Reason)
+		} else {
+			r.breaker.Success()
+		}
+	}
+	return d
+}
+
+// attempt runs one bounded evaluation of the inner PDP. A non-blocking
+// inner PDP (core.NonBlockingPDP) skips the deadline machinery
+// entirely: its evaluation cannot outlive any deadline, so arming one
+// would be pure overhead on every call.
+func (r *Resilient) attempt(ctx context.Context, req *core.Request) core.Decision {
+	if r.timeout <= 0 || r.nonBlocking {
+		return core.AuthorizeWithContext(ctx, r.inner, req)
+	}
+	if r.ctxInner != nil {
+		// A context-aware PDP honours the deadline itself (and must
+		// answer a cancelled context with Error, per the ContextPDP
+		// contract) — no goroutine needed on the happy path.
+		if ctx.Done() == nil {
+			// Uncancellable parent (the sequential dispatch path): the
+			// deadline timer can be armed lazily, only if the PDP blocks.
+			dc := newLazyDeadline(ctx, r.timeout)
+			d := r.ctxInner.AuthorizeContext(dc, req)
+			dc.cancel()
+			return d
+		}
+		actx, cancel := context.WithTimeout(ctx, r.timeout)
+		defer cancel()
+		return r.ctxInner.AuthorizeContext(actx, req)
+	}
+	if r.effectful {
+		// Abandoning a side-effecting evaluation could leak its effect
+		// (e.g. an allocation reservation committed after the deadline
+		// with no job to carry it); run it to completion.
+		return r.inner.Authorize(req)
+	}
+	// Watchdog: a plain PDP cannot observe the deadline, so the attempt
+	// runs in a goroutine and an overrun is converted into an Error
+	// decision. The late result is discarded; the goroutine exits with
+	// the evaluation (it is only leaked for as long as the PDP hangs).
+	ch := make(chan core.Decision, 1)
+	go func() { ch <- r.inner.Authorize(req) }()
+	t := time.NewTimer(r.timeout)
+	defer t.Stop()
+	select {
+	case d := <-ch:
+		return d
+	case <-ctx.Done():
+		return core.ErrorDecision(r.Name(), "request abandoned: "+ctx.Err().Error())
+	case <-t.C:
+		return core.ErrorDecision(r.Name(),
+			fmt.Sprintf("callout %s timed out after %v", r.inner.Name(), r.timeout))
+	}
+}
+
+// FromCalloutOptions builds the wrapper a callout chain's options ask
+// for (the pdp-timeout / retries / breaker configuration-file knobs and
+// their ResourceConfig equivalents). Breaker transitions are audited to
+// log when it is non-nil.
+func FromCalloutOptions(p core.PDP, o core.CalloutOptions, log *audit.Log) core.PDP {
+	opts := Options{Timeout: o.PDPTimeout, Audit: log}
+	if o.Retries > 0 {
+		opts.Retry = Policy{Attempts: o.Retries + 1, BaseDelay: o.RetryBackoff}
+	}
+	if o.Breaker {
+		opts.Breaker = &BreakerConfig{
+			Threshold: o.BreakerThreshold,
+			Cooldown:  o.BreakerCooldown,
+		}
+	}
+	return Wrap(p, opts)
+}
+
+// Install registers this package as the registry's PDP wrapper: every
+// callout chain rebuilt from then on applies the chain's resilience
+// options to each of its PDPs. Reconfiguring a callout type rebuilds
+// its chain and therefore resets its breakers (a deliberate fresh
+// start: the operator just changed what the chain means).
+func Install(reg *core.Registry, log *audit.Log) {
+	reg.SetPDPWrapper(func(p core.PDP, o core.CalloutOptions) core.PDP {
+		return FromCalloutOptions(p, o, log)
+	})
+}

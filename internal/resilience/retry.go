@@ -1,0 +1,134 @@
+// Package resilience hardens authorization callouts against the
+// failure modes the paper's deployment model implies but its prototype
+// ignores: the PDPs behind a callout (Akenti servers, CAS queries) are
+// remote, slow and intermittently unavailable, yet a PEP must keep
+// answering. The package wraps any core.PDP with a per-callout
+// deadline, bounded retries with jittered exponential backoff for
+// transient Error decisions, and a per-PDP circuit breaker, and it
+// defines the one retry policy the rest of the system shares (the GRAM
+// client uses it for redials and for retryable management failures, so
+// connection-level and PDP-level transients back off identically).
+//
+// What the wrapper never does is change an authorization outcome:
+// Permit, Deny and NotApplicable pass through untouched, and every
+// degradation it introduces surfaces as the paper's third decision
+// class — Error, "authorization system failure" — which enforcement
+// points already fail closed on.
+package resilience
+
+import (
+	"context"
+	"math/rand"
+	"time"
+)
+
+// Policy configures bounded retries with jittered exponential backoff.
+// The zero value selects the documented defaults; Attempts <= 1 means
+// "try once, never retry".
+type Policy struct {
+	// Attempts is the total number of tries, first one included
+	// (0 selects 3).
+	Attempts int
+	// BaseDelay is the backoff before the first retry (0 selects 25ms).
+	BaseDelay time.Duration
+	// MaxDelay caps the grown backoff (0 selects 1s).
+	MaxDelay time.Duration
+	// Multiplier grows the delay between retries (0 selects 2).
+	Multiplier float64
+	// Jitter is the fraction of each delay that is randomized, in
+	// [0, 1]: the slept delay is d*(1-Jitter) + rand*d*Jitter, so
+	// synchronized clients spread out instead of retrying in lockstep
+	// (0 selects 0.5; set >= 1 for full jitter).
+	Jitter float64
+	// Rand supplies jitter randomness in [0, 1). Nil selects the shared
+	// math/rand source; tests pass a seeded source for determinism.
+	Rand func() float64
+	// Sleep waits between attempts, returning early if ctx is done. Nil
+	// selects a timer-based wait; tests substitute a virtual clock.
+	Sleep func(ctx context.Context, d time.Duration) error
+}
+
+func (p Policy) withDefaults() Policy {
+	if p.Attempts <= 0 {
+		p.Attempts = 3
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 25 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = time.Second
+	}
+	if p.Multiplier < 1 {
+		p.Multiplier = 2
+	}
+	if p.Jitter == 0 {
+		p.Jitter = 0.5
+	}
+	if p.Jitter > 1 {
+		p.Jitter = 1
+	}
+	if p.Rand == nil {
+		p.Rand = rand.Float64
+	}
+	if p.Sleep == nil {
+		p.Sleep = sleepContext
+	}
+	return p
+}
+
+// sleepContext waits d or until ctx is done, whichever comes first.
+func sleepContext(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Delay returns the jittered backoff before retry number retry (0 is
+// the delay after the first failed attempt).
+func (p Policy) Delay(retry int) time.Duration {
+	p = p.withDefaults()
+	d := float64(p.BaseDelay)
+	for i := 0; i < retry; i++ {
+		d *= p.Multiplier
+		if d >= float64(p.MaxDelay) {
+			d = float64(p.MaxDelay)
+			break
+		}
+	}
+	jittered := d*(1-p.Jitter) + p.Rand()*d*p.Jitter
+	return time.Duration(jittered)
+}
+
+// Do runs op until it succeeds, it fails terminally, the attempt budget
+// is exhausted, or ctx is done. op returns the attempt's error and
+// whether a failure is transient (worth retrying); a nil error always
+// stops. The error returned is the LAST attempt's — callers keep their
+// domain error, not a wrapper.
+func (p Policy) Do(ctx context.Context, op func(attempt int) (err error, transient bool)) error {
+	p = p.withDefaults()
+	var err error
+	for attempt := 0; attempt < p.Attempts; attempt++ {
+		var transient bool
+		err, transient = op(attempt)
+		if err == nil || !transient {
+			return err
+		}
+		if attempt == p.Attempts-1 {
+			break
+		}
+		if p.Sleep(ctx, p.Delay(attempt)) != nil {
+			// The caller's context ended mid-backoff; its own error
+			// (from the last real attempt) is more useful than ctx's.
+			return err
+		}
+	}
+	return err
+}
