@@ -1,0 +1,32 @@
+# Convenience entry points; each is a thin wrapper over the go tool so
+# CI and contributors run exactly the same commands.
+
+GO ?= go
+
+.PHONY: build test race lint fuzz-smoke bench check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Authorization-safety analyzers (docs/ANALYSIS.md) plus the doc
+# cross-reference check. Fails on any finding; waive only with an
+# //authlint:ignore comment carrying a reason.
+lint:
+	$(GO) run ./cmd/authlint ./...
+
+# Replay the RSL fuzz corpus and probe briefly for new crashers —
+# the same smoke CI runs.
+fuzz-smoke:
+	$(GO) test ./internal/rsl/ -run '^$$' -fuzz 'FuzzParse$$' -fuzztime=10s
+	$(GO) test ./internal/rsl/ -run '^$$' -fuzz 'FuzzParseSpec$$' -fuzztime=10s
+
+bench:
+	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
+
+check: build test lint

@@ -1,0 +1,122 @@
+// Command authlint is the repository's authorization-safety
+// multichecker: it runs the internal/analysis/authlint analyzer suite
+// over Go package patterns and, by default, the doclint documentation
+// cross-checker over the repository's markdown. Findings print as
+//
+//	file:line:col: analyzer: message
+//
+// and a non-zero exit fails CI. See docs/ANALYSIS.md for the analyzer
+// catalogue and the //authlint:ignore suppression convention.
+//
+// Usage:
+//
+//	go run ./cmd/authlint ./...        # whole module (CI invocation)
+//	go run ./cmd/authlint -list        # print the analyzer catalogue
+//	go run ./cmd/authlint -docs=false ./internal/gram
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"strings"
+
+	"gridauth/internal/analysis"
+	"gridauth/internal/analysis/authlint"
+	"gridauth/internal/doclint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("authlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	list := fs.Bool("list", false, "print the analyzers and exit")
+	docs := fs.Bool("docs", true, "also cross-check documentation references (doclint)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, a := range authlint.All() {
+			fmt.Fprintf(stdout, "%-15s %s\n", a.Name, a.Doc)
+		}
+		fmt.Fprintf(stdout, "%-15s %s\n", "doclint", "documentation references (paths, links, symbols) must resolve against the tree")
+		return 0
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	loader := analysis.NewLoader("")
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		fmt.Fprintln(stderr, "authlint:", err)
+		return 2
+	}
+	findings := 0
+	for _, pkg := range pkgs {
+		for _, a := range authlint.All() {
+			diags, err := analysis.Run(a, pkg)
+			if err != nil {
+				fmt.Fprintln(stderr, "authlint:", err)
+				return 2
+			}
+			for _, d := range diags {
+				fmt.Fprintf(stdout, "%s: %s: %s\n", pkg.Fset.Position(d.Pos), a.Name, d.Message)
+				findings++
+			}
+		}
+	}
+	if *docs {
+		n, err := runDoclint(stdout)
+		if err != nil {
+			fmt.Fprintln(stderr, "authlint: doclint:", err)
+			return 2
+		}
+		findings += n
+	}
+	if findings > 0 {
+		fmt.Fprintf(stderr, "authlint: %d finding(s)\n", findings)
+		return 1
+	}
+	return 0
+}
+
+// runDoclint applies the documentation cross-checker from the module
+// root, so authlint covers code and prose in one invocation.
+func runDoclint(stdout io.Writer) (int, error) {
+	root, err := moduleRoot()
+	if err != nil {
+		return 0, err
+	}
+	files, err := doclint.DefaultDocs(root)
+	if err != nil {
+		return 0, err
+	}
+	problems, err := doclint.Check(root, files)
+	if err != nil {
+		return 0, err
+	}
+	for _, p := range problems {
+		fmt.Fprintf(stdout, "%s:%d: doclint: %q: %s\n", p.File, p.Line, p.Ref, p.Msg)
+	}
+	return len(problems), nil
+}
+
+// moduleRoot resolves the enclosing module's directory.
+func moduleRoot() (string, error) {
+	cmd := exec.Command("go", "list", "-m", "-f", "{{.Dir}}")
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return "", fmt.Errorf("go list -m: %v\n%s", err, stderr.String())
+	}
+	return strings.TrimSpace(string(out)), nil
+}

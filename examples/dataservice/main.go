@@ -87,7 +87,10 @@ func run() error {
 	}
 
 	// Alice discovers the service (an authorized MDS query)...
-	query := mds.QueryPDP(reg, directory)
+	// PEP-side auditing is nil here because the chains above are already
+	// wrapped with audit.Wrap — recording at both layers would double
+	// every entry.
+	query := mds.QueryPDP(reg, directory, nil)
 	req := &core.Request{Subject: alice.Identity(), Action: policy.ActionInformation}
 	req.Spec = rsl.NewSpec().Set("service", "mds")
 	records, decision := query(req, mds.Query{VO: "NFC"})

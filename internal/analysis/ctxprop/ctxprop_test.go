@@ -1,0 +1,13 @@
+package ctxprop_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"gridauth/internal/analysis/analysistest"
+	"gridauth/internal/analysis/ctxprop"
+)
+
+func TestCtxProp(t *testing.T) {
+	analysistest.Run(t, filepath.Join("..", "testdata", "src"), ctxprop.Analyzer, "ctxprop")
+}

@@ -1,0 +1,157 @@
+// Package decisionswitch checks that every switch over core.Effect is
+// total: it either handles all four effects (Permit, Deny, Error,
+// NotApplicable) or carries a default case — and that default never
+// permits. The paper's assertion semantics are default-deny; an
+// Effect switch that silently falls through for an unlisted value is
+// exactly the kind of hole that turns "the combiner requires at least
+// one Permit" into "a forgotten case permits by accident" when a new
+// effect or a zero value reaches it.
+package decisionswitch
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"gridauth/internal/analysis"
+)
+
+// Analyzer flags non-total or permit-defaulting Effect switches.
+var Analyzer = &analysis.Analyzer{
+	Name: "decisionswitch",
+	Doc:  "a switch over core.Effect must handle Permit, Deny, Error and NotApplicable or have a default, and the default must not permit",
+	Run:  run,
+}
+
+var effectNames = []string{"Permit", "Deny", "Error", "NotApplicable"}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok || sw.Tag == nil {
+				return true
+			}
+			corePkg := effectPackage(pass, sw.Tag)
+			if corePkg == nil {
+				return true
+			}
+			checkSwitch(pass, sw, corePkg)
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// effectPackage returns the defining package when expr's type is the
+// core Effect type (a named type Effect in a package named core).
+func effectPackage(pass *analysis.Pass, expr ast.Expr) *types.Package {
+	tv, ok := pass.TypesInfo.Types[expr]
+	if !ok {
+		return nil
+	}
+	named, ok := tv.Type.(*types.Named)
+	if !ok {
+		return nil
+	}
+	obj := named.Obj()
+	if obj.Name() != "Effect" || obj.Pkg() == nil || obj.Pkg().Name() != "core" {
+		return nil
+	}
+	return obj.Pkg()
+}
+
+func checkSwitch(pass *analysis.Pass, sw *ast.SwitchStmt, corePkg *types.Package) {
+	// Resolve the four effect constants from the tag's own package so
+	// object identity — not spelling — decides coverage.
+	consts := map[types.Object]string{}
+	for _, name := range effectNames {
+		if obj, ok := corePkg.Scope().Lookup(name).(*types.Const); ok {
+			consts[obj] = name
+		}
+	}
+
+	covered := map[string]bool{}
+	var defaultClause *ast.CaseClause
+	for _, stmt := range sw.Body.List {
+		clause, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if clause.List == nil {
+			defaultClause = clause
+			continue
+		}
+		for _, e := range clause.List {
+			if name := constName(pass, consts, e); name != "" {
+				covered[name] = true
+			}
+		}
+	}
+
+	if defaultClause == nil {
+		var missing []string
+		for _, name := range effectNames {
+			if !covered[name] {
+				missing = append(missing, name)
+			}
+		}
+		if len(missing) > 0 {
+			pass.Reportf(sw.Pos(),
+				"switch on core.Effect does not handle %s and has no default; an unlisted effect silently falls through — add the missing cases or a denying default",
+				strings.Join(missing, ", "))
+		}
+		return
+	}
+	if pos, ok := permitEscape(pass, corePkg, defaultClause); ok {
+		pass.Reportf(pos,
+			"the default case of a core.Effect switch permits; unknown effects must deny or error (default-deny), never permit")
+	}
+}
+
+// constName resolves a case expression to one of the effect constants.
+func constName(pass *analysis.Pass, consts map[types.Object]string, e ast.Expr) string {
+	var obj types.Object
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj = pass.TypesInfo.Uses[e]
+	case *ast.SelectorExpr:
+		obj = pass.TypesInfo.Uses[e.Sel]
+	}
+	if obj == nil {
+		return ""
+	}
+	return consts[obj]
+}
+
+// permitEscape reports a use of the Permit constant or the
+// PermitDecision constructor inside the default clause.
+func permitEscape(pass *analysis.Pass, corePkg *types.Package, clause *ast.CaseClause) (pos token.Pos, found bool) {
+	permit := corePkg.Scope().Lookup("Permit")
+	permitFn := corePkg.Scope().Lookup("PermitDecision")
+	for _, stmt := range clause.Body {
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			if found {
+				return false
+			}
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := pass.TypesInfo.Uses[id]
+			if obj == nil {
+				return true
+			}
+			if (permit != nil && obj == permit) || (permitFn != nil && obj == permitFn) {
+				pos, found = id.Pos(), true
+				return false
+			}
+			return true
+		})
+		if found {
+			return pos, true
+		}
+	}
+	return pos, false
+}

@@ -1,0 +1,13 @@
+package decisionswitch_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"gridauth/internal/analysis/analysistest"
+	"gridauth/internal/analysis/decisionswitch"
+)
+
+func TestDecisionSwitch(t *testing.T) {
+	analysistest.Run(t, filepath.Join("..", "testdata", "src"), decisionswitch.Analyzer, "decisionswitch")
+}

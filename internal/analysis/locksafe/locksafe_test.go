@@ -1,0 +1,13 @@
+package locksafe_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"gridauth/internal/analysis/analysistest"
+	"gridauth/internal/analysis/locksafe"
+)
+
+func TestLockSafe(t *testing.T) {
+	analysistest.Run(t, filepath.Join("..", "testdata", "src"), locksafe.Analyzer, "locksafe")
+}

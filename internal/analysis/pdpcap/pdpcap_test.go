@@ -1,0 +1,13 @@
+package pdpcap_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"gridauth/internal/analysis/analysistest"
+	"gridauth/internal/analysis/pdpcap"
+)
+
+func TestPDPCap(t *testing.T) {
+	analysistest.Run(t, filepath.Join("..", "testdata", "src"), pdpcap.Analyzer, "pdpcap")
+}

@@ -1,0 +1,69 @@
+// Fixture for the auditdeny analyzer: every function that obtains a
+// decision from the callout registry must reach an audit call on some
+// intra-package path, so denials leave a record.
+package auditdeny
+
+import (
+	"context"
+
+	"audit"
+	"core"
+)
+
+type gatekeeper struct {
+	reg *core.Registry
+	log *audit.Log
+}
+
+// audited dispatches and records through a helper: no finding.
+func (g *gatekeeper) audited(ctx context.Context, req *core.Request) core.Decision {
+	d := g.reg.InvokeContext(ctx, "job-submit", req)
+	g.record(req, d)
+	return d
+}
+
+// record is the shared auditing helper.
+func (g *gatekeeper) record(req *core.Request, d core.Decision) {
+	if d.Effect != core.Permit {
+		g.log.Append(audit.Record{
+			Subject: req.Subject,
+			Action:  req.Action,
+			Effect:  "refused",
+			Reason:  d.Reason,
+		})
+	}
+}
+
+// auditedDeep reaches the audit call two hops down: no finding.
+func (g *gatekeeper) auditedDeep(ctx context.Context, req *core.Request) core.Decision {
+	d := g.reg.InvokeContext(ctx, "job-manage", req)
+	g.finish(req, d)
+	return d
+}
+
+func (g *gatekeeper) finish(req *core.Request, d core.Decision) {
+	g.record(req, d)
+}
+
+// silent drops the decision on the floor: who asked, for what, and
+// which source refused is lost.
+func (g *gatekeeper) silent(ctx context.Context, req *core.Request) core.Decision {
+	return g.reg.InvokeContext(ctx, "job-submit", req) // want `authorization decision obtained here never reaches an audit call on any path from silent`
+}
+
+// silentPlain uses the context-free variant; still unaudited.
+func (g *gatekeeper) silentPlain(req *core.Request) core.Decision {
+	return g.reg.Invoke("job-cancel", req) // want `never reaches an audit call on any path from silentPlain`
+}
+
+// probe is a health check whose decision is discarded by design; the
+// waiver records why it may skip the audit trail.
+func (g *gatekeeper) probe(ctx context.Context) core.Decision {
+	req := &core.Request{Subject: "healthcheck", Action: "noop"}
+	return g.reg.InvokeContext(ctx, "probe", req) //authlint:ignore auditdeny synthetic self-probe, never user traffic; auditing it would flood the log
+}
+
+// noRegistry never touches the registry: no finding.
+func (g *gatekeeper) noRegistry(req *core.Request) core.Decision {
+	return core.DenyDecision("static", "always deny")
+}

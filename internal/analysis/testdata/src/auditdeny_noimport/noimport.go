@@ -1,0 +1,18 @@
+// Fixture for the auditdeny analyzer's stronger finding: this package
+// dispatches through the registry but does not import the audit
+// package at all.
+package auditdeny_noimport
+
+import (
+	"context"
+
+	"core"
+)
+
+type dispatcher struct {
+	reg *core.Registry
+}
+
+func (d *dispatcher) handle(ctx context.Context, req *core.Request) core.Decision {
+	return d.reg.InvokeContext(ctx, "job-submit", req) // want `unaudited and handle's package does not even import the audit package`
+}

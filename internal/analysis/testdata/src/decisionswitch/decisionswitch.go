@@ -1,0 +1,107 @@
+// Fixture for the decisionswitch analyzer: switches over core.Effect
+// must be total (all four effects or a default) and the default must
+// never permit.
+package decisionswitch
+
+import "core"
+
+// total handles every effect explicitly: no finding.
+func total(d core.Decision) string {
+	switch d.Effect {
+	case core.Permit:
+		return "permit"
+	case core.Deny:
+		return "deny"
+	case core.Error:
+		return "error"
+	case core.NotApplicable:
+		return "not-applicable"
+	}
+	return ""
+}
+
+// defaultDeny is partial but falls back to a denial: no finding.
+func defaultDeny(d core.Decision) core.Decision {
+	switch d.Effect {
+	case core.Permit:
+		return d
+	default:
+		return core.DenyDecision("gate", "unrecognized effect")
+	}
+}
+
+// partial forgets Error and NotApplicable and has no default.
+func partial(d core.Decision) string {
+	switch d.Effect { // want `switch on core\.Effect does not handle Error, NotApplicable and has no default`
+	case core.Permit:
+		return "permit"
+	case core.Deny:
+		return "deny"
+	}
+	return ""
+}
+
+// localTag switches over a copied effect value; coverage is decided by
+// constant identity, so the alias still counts.
+func localTag(d core.Decision) string {
+	e := d.Effect
+	switch e { // want `switch on core\.Effect does not handle Permit and has no default`
+	case core.Deny:
+		return "deny"
+	case core.Error:
+		return "error"
+	case core.NotApplicable:
+		return "not-applicable"
+	}
+	return ""
+}
+
+// permitDefault turns every unknown effect into a Permit.
+func permitDefault(d core.Decision) core.Decision {
+	switch d.Effect {
+	case core.Deny:
+		return d
+	default:
+		return core.PermitDecision("gate", "assumed fine") // want `default case of a core\.Effect switch permits`
+	}
+}
+
+// permitConstDefault leaks the Permit constant from the default.
+func permitConstDefault(d core.Decision) core.Effect {
+	switch d.Effect {
+	case core.Deny, core.Error:
+		return d.Effect
+	default:
+		return core.Permit // want `default case of a core\.Effect switch permits`
+	}
+}
+
+// grouped covers all four effects across grouped case lists: no
+// finding.
+func grouped(d core.Decision) bool {
+	switch d.Effect {
+	case core.Permit, core.NotApplicable:
+		return true
+	case core.Deny, core.Error:
+		return false
+	}
+	return false
+}
+
+// notEffect switches over a plain int and is none of our business.
+func notEffect(n int) string {
+	switch n {
+	case 1:
+		return "one"
+	}
+	return "other"
+}
+
+// waived documents an audited exception on the switch line.
+func waived(d core.Decision) string {
+	switch d.Effect { //authlint:ignore decisionswitch metrics label only; enforcement happens in the caller
+	case core.Permit:
+		return "permit"
+	}
+	return "other"
+}

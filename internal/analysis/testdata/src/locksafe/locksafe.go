@@ -1,0 +1,117 @@
+// Fixture for the locksafe analyzer: no potentially blocking
+// operation while a sync.Mutex/RWMutex is held.
+package locksafe
+
+import (
+	"net"
+	"sync"
+	"time"
+)
+
+type shard struct {
+	mu      sync.Mutex
+	rw      sync.RWMutex
+	cond    *sync.Cond
+	entries map[string]string
+	updates chan string
+}
+
+// get holds the lock only around the map access: no finding.
+func (s *shard) get(k string) string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.entries[k]
+}
+
+// sleepUnderLock parks the whole shard.
+func (s *shard) sleepUnderLock(k string) string {
+	s.mu.Lock()
+	time.Sleep(time.Millisecond) // want `potentially blocking operation \(time\.Sleep\) while s\.mu is held \(locked at line \d+\)`
+	v := s.entries[k]
+	s.mu.Unlock()
+	return v
+}
+
+// dialUnderDeferredUnlock holds the lock (via defer) across a network
+// dial.
+func (s *shard) dialUnderDeferredUnlock(addr string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	conn, err := net.Dial("tcp", addr) // want `potentially blocking operation \(net\.Dial\) while s\.mu is held`
+	if err != nil {
+		return err
+	}
+	_ = conn
+	return nil
+}
+
+// releaseFirst copies under the lock and blocks after releasing it: no
+// finding.
+func (s *shard) releaseFirst(k string) string {
+	s.mu.Lock()
+	v := s.entries[k]
+	s.mu.Unlock()
+	time.Sleep(time.Millisecond)
+	return v
+}
+
+// recvUnderLock waits on a channel while holding the lock.
+func (s *shard) recvUnderLock() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return <-s.updates // want `potentially blocking operation \(receives from a channel\) while s\.mu is held`
+}
+
+// pollUnderLock only attempts a non-blocking receive: no finding.
+func (s *shard) pollUnderLock() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case v := <-s.updates:
+		return v
+	default:
+		return ""
+	}
+}
+
+// helperUnderReadLock blocks transitively through an intra-package
+// helper while holding the read lock.
+func (s *shard) helperUnderReadLock(k string) string {
+	s.rw.RLock()
+	defer s.rw.RUnlock()
+	return s.slowLoad(k) // want `potentially blocking operation \(slowLoad, which calls time\.Sleep\) while s\.rw is held`
+}
+
+func (s *shard) slowLoad(k string) string {
+	time.Sleep(time.Millisecond)
+	return s.entries[k]
+}
+
+// spawnUnderLock starts a goroutine that blocks; the goroutine does
+// not hold the caller's lock, so: no finding.
+func (s *shard) spawnUnderLock() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	go func() {
+		time.Sleep(time.Millisecond)
+	}()
+}
+
+// condWait is the one sanctioned blocking-while-locked pattern:
+// sync.Cond.Wait releases the mutex while parked. No finding.
+func (s *shard) condWait() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for len(s.entries) == 0 {
+		s.cond.Wait()
+	}
+}
+
+// warmup blocks under the lock once at startup, before any request
+// traffic exists; the waiver records that reasoning.
+func (s *shard) warmup() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	time.Sleep(time.Millisecond) //authlint:ignore locksafe startup-only prefill, runs before the shard is published
+	s.entries = map[string]string{}
+}

@@ -43,7 +43,7 @@ func (p *PolicyPDP) AuthorizeContext(ctx context.Context, req *Request) Decision
 	if err := ctx.Err(); err != nil {
 		return ErrorDecision(p.Name(), "request abandoned: "+err.Error())
 	}
-	return p.Authorize(req)
+	return p.Authorize(req) //authlint:ignore ctxprop ctx liveness is pre-checked above; in-memory evaluation cannot block, so there is nothing left to cancel
 }
 
 // evaluatePolicy runs one policy over a request and maps the engine's
@@ -103,7 +103,7 @@ func (p *StorePDP) AuthorizeContext(ctx context.Context, req *Request) Decision 
 	if err := ctx.Err(); err != nil {
 		return ErrorDecision(p.Name(), "request abandoned: "+err.Error())
 	}
-	return p.Authorize(req)
+	return p.Authorize(req) //authlint:ignore ctxprop ctx liveness is pre-checked above; the store read and evaluation are in-memory and cannot block
 }
 
 // SelfOnlyPDP reproduces the stock GT2 job-management rule: "the Grid

@@ -297,6 +297,8 @@ var _ ContextPDP = (*CachedPDP)(nil)
 func (p *CachedPDP) Name() string { return "cached(" + p.Inner.Name() + ")" }
 
 // Authorize implements PDP.
+//
+//authlint:ignore pdpcap the only mutation on the authorize path is the cache fill, which is replay-safe by construction (epoch-checked Put); declaring EffectfulPDP would wrongly bar effect-free chains from fan-out
 func (p *CachedPDP) Authorize(req *Request) Decision {
 	return p.AuthorizeContext(context.Background(), req)
 }

@@ -22,13 +22,19 @@ import (
 // Problem is one dead reference found in a documentation file.
 type Problem struct {
 	File string
+	Line int // 1-based line of the reference's first occurrence
 	Ref  string
 	Msg  string
 }
 
-// String renders the problem for test output.
+// String renders the problem for test and lint-driver output.
 func (p Problem) String() string {
-	return fmt.Sprintf("%s: %q: %s", p.File, p.Ref, p.Msg)
+	return fmt.Sprintf("%s:%d: %q: %s", p.File, p.Line, p.Ref, p.Msg)
+}
+
+// lineAt converts a byte offset in text to a 1-based line number.
+func lineAt(text string, off int) int {
+	return 1 + strings.Count(text[:off], "\n")
 }
 
 var (
@@ -93,9 +99,15 @@ func DefaultDocs(root string) ([]string, error) {
 
 func checkPaths(root, doc, text string) []Problem {
 	var problems []Problem
-	for _, ref := range dedupe(pathRef.FindAllString(text, -1)) {
+	seen := map[string]bool{}
+	for _, loc := range pathRef.FindAllStringIndex(text, -1) {
+		ref := text[loc[0]:loc[1]]
+		if seen[ref] {
+			continue
+		}
+		seen[ref] = true
 		if _, err := os.Stat(filepath.Join(root, ref)); err != nil {
-			problems = append(problems, Problem{File: doc, Ref: ref, Msg: "path does not exist"})
+			problems = append(problems, Problem{File: doc, Line: lineAt(text, loc[0]), Ref: ref, Msg: "path does not exist"})
 		}
 	}
 	return problems
@@ -103,8 +115,9 @@ func checkPaths(root, doc, text string) []Problem {
 
 func checkLinks(root, doc, text string) []Problem {
 	var problems []Problem
-	for _, m := range linkRef.FindAllStringSubmatch(text, -1) {
-		target := m[1]
+	for _, m := range linkRef.FindAllStringSubmatchIndex(text, -1) {
+		target := text[m[2]:m[3]]
+		raw := target
 		if strings.Contains(target, "://") || strings.HasPrefix(target, "#") || strings.HasPrefix(target, "mailto:") {
 			continue
 		}
@@ -114,7 +127,7 @@ func checkLinks(root, doc, text string) []Problem {
 		}
 		resolved := filepath.Join(root, filepath.Dir(doc), target)
 		if _, err := os.Stat(resolved); err != nil {
-			problems = append(problems, Problem{File: doc, Ref: m[1], Msg: "link target does not exist"})
+			problems = append(problems, Problem{File: doc, Line: lineAt(text, m[0]), Ref: raw, Msg: "link target does not exist"})
 		}
 	}
 	return problems
@@ -123,9 +136,14 @@ func checkLinks(root, doc, text string) []Problem {
 func checkSymbols(doc, text string, pkgs map[string]*pkgDecls) []Problem {
 	var problems []Problem
 	seen := map[string]bool{}
-	for _, m := range symbolRef.FindAllStringSubmatch(text, -1) {
-		pkg, sym, member := m[1], m[2], m[3]
-		ref := m[0]
+	for _, m := range symbolRef.FindAllStringSubmatchIndex(text, -1) {
+		group := func(i int) string {
+			if m[2*i] < 0 {
+				return ""
+			}
+			return text[m[2*i]:m[2*i+1]]
+		}
+		ref, pkg, sym, member := group(0), group(1), group(2), group(3)
 		if seen[ref] {
 			continue
 		}
@@ -135,12 +153,12 @@ func checkSymbols(doc, text string, pkgs map[string]*pkgDecls) []Problem {
 			continue // not one of this repository's packages (stdlib, prose)
 		}
 		if !decls.symbols[sym] {
-			problems = append(problems, Problem{File: doc, Ref: ref,
+			problems = append(problems, Problem{File: doc, Line: lineAt(text, m[0]), Ref: ref,
 				Msg: fmt.Sprintf("package %s has no exported %s", pkg, sym)})
 			continue
 		}
 		if member != "" && !decls.members[sym][member] {
-			problems = append(problems, Problem{File: doc, Ref: ref,
+			problems = append(problems, Problem{File: doc, Line: lineAt(text, m[0]), Ref: ref,
 				Msg: fmt.Sprintf("%s.%s has no exported method or field %s", pkg, sym, member)})
 		}
 	}
@@ -291,16 +309,4 @@ func recvTypeName(recv *ast.FieldList) string {
 		return ident.Name
 	}
 	return ""
-}
-
-func dedupe(in []string) []string {
-	seen := map[string]bool{}
-	var out []string
-	for _, s := range in {
-		if !seen[s] {
-			seen[s] = true
-			out = append(out, s)
-		}
-	}
-	return out
 }

@@ -64,22 +64,63 @@ func New() *Gadget { return nil }
 	if err != nil {
 		t.Fatalf("Check: %v", err)
 	}
-	want := map[string]bool{
-		"internal/gone":     false,
-		"widget.Missing":    false,
-		"widget.Gadget.Fly": false,
-		"nowhere.md":        false,
+	// Reference -> the GUIDE.md line it appears on (0 = not yet seen).
+	wantLine := map[string]int{
+		"internal/gone":     1,
+		"widget.Missing":    3,
+		"widget.Gadget.Fly": 3,
+		"nowhere.md":        4,
 	}
+	found := map[string]bool{}
 	for _, p := range problems {
-		if _, ok := want[p.Ref]; !ok {
+		line, ok := wantLine[p.Ref]
+		if !ok {
 			t.Errorf("unexpected problem: %s", p)
 			continue
 		}
-		want[p.Ref] = true
+		if p.Line != line {
+			t.Errorf("%q reported at line %d, want %d", p.Ref, p.Line, line)
+		}
+		found[p.Ref] = true
 	}
-	for ref, found := range want {
-		if !found {
+	for ref := range wantLine {
+		if !found[ref] {
 			t.Errorf("checker missed dead reference %q", ref)
 		}
+	}
+}
+
+// TestCheckAcceptsCleanDocs pins the negative direction explicitly: a
+// document whose every reference resolves produces zero problems, so a
+// finding from the real tree is always actionable.
+func TestCheckAcceptsCleanDocs(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.MkdirAll(filepath.Join(dir, "internal", "widget"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	src := `package widget
+
+type Gadget struct{ Size int }
+
+func New() *Gadget { return nil }
+`
+	if err := os.WriteFile(filepath.Join(dir, "internal", "widget", "widget.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "root.go"), []byte("package mainpkg\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	doc := "All good: `internal/widget`, `widget.New`, `widget.Gadget.Size`,\n" +
+		"[a link](root.go), [an anchor](#section), and [external](https://example.com).\n" +
+		"Prose like fmt.Println or a sentence ending in internal/widget.\n"
+	if err := os.WriteFile(filepath.Join(dir, "GUIDE.md"), []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	problems, err := Check(dir, []string{"GUIDE.md"})
+	if err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+	for _, p := range problems {
+		t.Errorf("clean doc flagged: %s", p)
 	}
 }

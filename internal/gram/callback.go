@@ -190,7 +190,9 @@ func (g *Gatekeeper) authorizeManage(ctx context.Context, peer *Peer, jmi *JMI, 
 			JobOwner:   jmi.Owner,
 			Spec:       jmi.Spec,
 		}
-		return decisionToProto(g.cfg.Registry.InvokeContext(ctx, core.CalloutGatekeeper, req))
+		d := g.cfg.Registry.InvokeContext(ctx, core.CalloutGatekeeper, req)
+		auditDecision(g.cfg.Audit, core.CalloutGatekeeper, req, d)
+		return decisionToProto(d)
 	}
 	return jmi.authorize(ctx, peer, action)
 }

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"gridauth/internal/audit"
 	"gridauth/internal/core"
 	"gridauth/internal/gsi"
 	"gridauth/internal/jobcontrol"
@@ -46,6 +47,7 @@ type JMI struct {
 
 	mode      AuthzMode
 	registry  *core.Registry
+	auditLog  *audit.Log
 	cluster   *jobcontrol.Cluster
 	lrmID     string
 	tampered  bool
@@ -210,7 +212,9 @@ func (j *JMI) authorize(ctx context.Context, peer *Peer, action string) *ProtoEr
 			JobOwner:   j.Owner,
 			Spec:       j.Spec,
 		}
-		return decisionToProtoManagement(j.registry.InvokeContext(ctx, core.CalloutJobManager, req))
+		d := j.registry.InvokeContext(ctx, core.CalloutJobManager, req)
+		auditDecision(j.auditLog, core.CalloutJobManager, req, d)
+		return decisionToProtoManagement(d)
 	default:
 		return &ProtoError{Code: CodeInternal, Message: "unknown authorization mode"}
 	}
@@ -324,6 +328,27 @@ func lrmError(err error) *ProtoError {
 	default:
 		return &ProtoError{Code: CodeJobState, Message: err.Error()}
 	}
+}
+
+// auditDecision records one PEP-acted-on callout decision. A nil log
+// disables auditing (the record construction is skipped, not queued).
+// Both enforcement points — the Gatekeeper and each JMI — funnel
+// through here so the trail always names who asked, for what job, and
+// which policy source decided (§4.3's "security, audit, accounting").
+func auditDecision(log *audit.Log, calloutType string, req *core.Request, d core.Decision) {
+	if log == nil {
+		return
+	}
+	log.Append(audit.Record{
+		Subject:  req.Subject,
+		Action:   req.Action,
+		JobID:    req.JobID,
+		JobOwner: req.JobOwner,
+		PDP:      calloutType,
+		Effect:   d.Effect.String(),
+		Source:   d.Source,
+		Reason:   d.Reason,
+	})
 }
 
 // decisionToProto converts a callout decision into the protocol's

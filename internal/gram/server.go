@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"gridauth/internal/accounts"
+	"gridauth/internal/audit"
 	"gridauth/internal/core"
 	"gridauth/internal/gridmap"
 	"gridauth/internal/gsi"
@@ -72,6 +73,11 @@ type Config struct {
 	// Registry is the authorization callout registry (required for
 	// AuthzCallout).
 	Registry *core.Registry
+	// Audit, when set, receives a record for every callout decision the
+	// gatekeeper and its JMIs act on, restoring the "security, audit,
+	// accounting" trail the paper counts among fine-grain
+	// authorization's repairs (§4.3). Nil disables PEP-side auditing.
+	Audit *audit.Log
 	// Mode selects the authorization model.
 	Mode AuthzMode
 	// Placement selects the PEP location in callout mode.
@@ -461,7 +467,9 @@ func (g *Gatekeeper) handleJobRequest(ctx context.Context, peer *Peer, msg *Mess
 		if g.cfg.Placement == PlacementGatekeeper {
 			calloutType = core.CalloutGatekeeper
 		}
-		if perr := decisionToProto(g.cfg.Registry.InvokeContext(ctx, calloutType, req)); perr != nil {
+		d := g.cfg.Registry.InvokeContext(ctx, calloutType, req)
+		auditDecision(g.cfg.Audit, calloutType, req, d)
+		if perr := decisionToProto(d); perr != nil {
 			return fail(perr)
 		}
 	}
@@ -497,6 +505,7 @@ func (g *Gatekeeper) handleJobRequest(ctx context.Context, peer *Peer, msg *Mess
 		Spec:     spec,
 		mode:     g.cfg.Mode,
 		registry: g.cfg.Registry,
+		auditLog: g.cfg.Audit,
 		cluster:  g.cfg.Cluster,
 		tampered: g.cfg.TamperJMI,
 	}
@@ -563,7 +572,9 @@ func (g *Gatekeeper) handleManage(ctx context.Context, peer *Peer, msg *Message)
 			JobOwner:   jmi.Owner,
 			Spec:       jmi.Spec,
 		}
-		if perr := decisionToProtoManagement(g.cfg.Registry.InvokeContext(ctx, core.CalloutGatekeeper, req)); perr != nil {
+		d := g.cfg.Registry.InvokeContext(ctx, core.CalloutGatekeeper, req)
+		auditDecision(g.cfg.Audit, core.CalloutGatekeeper, req, d)
+		if perr := decisionToProtoManagement(d); perr != nil {
 			return manageError(perr)
 		}
 		return jmi.managePreauthorized(msg)

@@ -18,6 +18,7 @@ import (
 	"sync"
 	"time"
 
+	"gridauth/internal/audit"
 	"gridauth/internal/core"
 )
 
@@ -183,10 +184,22 @@ const CalloutMDS = "globus_mds_authz"
 
 // QueryPDP wraps a directory query in the callout framework: the action
 // is "information" and the spec carries the query attributes, so site
-// policy can, e.g., restrict discovery to VO members.
-func QueryPDP(reg *core.Registry, d *Directory) func(req *core.Request, q Query) ([]Record, core.Decision) {
+// policy can, e.g., restrict discovery to VO members. When log is
+// non-nil every decision the wrapper acts on is recorded — discovery
+// refusals are part of the audit trail too (nil disables auditing).
+func QueryPDP(reg *core.Registry, d *Directory, log *audit.Log) func(req *core.Request, q Query) ([]Record, core.Decision) {
 	return func(req *core.Request, q Query) ([]Record, core.Decision) {
 		decision := reg.Invoke(CalloutMDS, req)
+		if log != nil {
+			log.Append(audit.Record{
+				Subject: req.Subject,
+				Action:  req.Action,
+				PDP:     CalloutMDS,
+				Effect:  decision.Effect.String(),
+				Source:  decision.Source,
+				Reason:  decision.Reason,
+			})
+		}
 		if decision.Effect != core.Permit {
 			return nil, decision
 		}

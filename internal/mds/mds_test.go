@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"gridauth/internal/audit"
 	"gridauth/internal/core"
 	"gridauth/internal/policy"
 	"gridauth/internal/rsl"
@@ -120,7 +121,8 @@ func TestQueryPDP(t *testing.T) {
 	reg := core.NewRegistry()
 	reg.Bind(CalloutMDS, &core.PolicyPDP{Policy: policy.MustParse(
 		`/O=Grid/O=Globus/OU=mcs.anl.gov: &(action = information)(service = mds)`, "site")})
-	query := QueryPDP(reg, d)
+	log := audit.NewLog(16)
+	query := QueryPDP(reg, d, log)
 
 	member := &core.Request{
 		Subject: "/O=Grid/O=Globus/OU=mcs.anl.gov/CN=Kate Keahey",
@@ -135,5 +137,11 @@ func TestQueryPDP(t *testing.T) {
 	outsider.Spec = member.Spec
 	if recs, dec := query(outsider, Query{}); dec.Effect == core.Permit || recs != nil {
 		t.Errorf("outsider query permitted")
+	}
+	if got := log.Len(); got != 2 {
+		t.Errorf("audit log has %d records, want 2 (permit + refusal)", got)
+	}
+	if denies := log.Denials(); len(denies) != 1 {
+		t.Errorf("audit log has %d denials, want 1", len(denies))
 	}
 }

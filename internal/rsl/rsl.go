@@ -157,7 +157,7 @@ func (v Value) Unparse() string {
 	if v.IsVariable() {
 		return "$(" + v.Variable + ")"
 	}
-	if v.Literal == "" || strings.ContainsAny(v.Literal, " \t\n()=<>!\"'$") {
+	if v.Literal == "" || strings.ContainsAny(v.Literal, " \t\r\n()=<>!\"'$") {
 		return `"` + strings.ReplaceAll(v.Literal, `"`, `""`) + `"`
 	}
 	return v.Literal
