@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race lint fuzz-smoke bench check
+.PHONY: build test race lint fuzz-smoke bench bench-obs conformance check
 
 build:
 	$(GO) build ./...
@@ -28,5 +28,14 @@ fuzz-smoke:
 
 bench:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
+
+# The paper-scenario conformance suite under the race detector — the
+# same run CI's conformance job does.
+conformance:
+	$(GO) test -race -run 'TestConformance' -v .
+
+# Machine-readable observability benchmark series (P5/P7/P10).
+bench-obs:
+	$(GO) test -run=NONE -bench 'BenchmarkP5_ParallelPDP|BenchmarkP7_SessionResumption|BenchmarkP10_TraceOverhead' -benchtime=1x -json . | tee BENCH_obs.json
 
 check: build test lint

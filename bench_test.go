@@ -10,6 +10,7 @@ package gridauth
 //	go test -bench=. -benchmem .
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"strconv"
@@ -26,6 +27,7 @@ import (
 	"gridauth/internal/gridmap"
 	"gridauth/internal/gsi"
 	"gridauth/internal/jobcontrol"
+	"gridauth/internal/obs"
 	"gridauth/internal/policy"
 	"gridauth/internal/resilience"
 	"gridauth/internal/rsl"
@@ -880,7 +882,7 @@ func BenchmarkP9_ResilienceOverhead(b *testing.B) {
 	}
 	newReg := func(o core.CalloutOptions) *core.Registry {
 		reg := core.NewRegistry()
-		resilience.Install(reg, nil)
+		resilience.Install(reg, nil, nil)
 		reg.Bind(core.CalloutJobManager, &core.PolicyPDP{Policy: voPol})
 		reg.Bind(core.CalloutJobManager, &core.PolicyPDP{Policy: local})
 		reg.SetCalloutOptions(core.CalloutJobManager, o)
@@ -909,6 +911,82 @@ func BenchmarkP9_ResilienceOverhead(b *testing.B) {
 			BreakerThreshold: full.BreakerThreshold, BreakerCooldown: full.BreakerCooldown}))
 	})
 	b.Run("full-stack", func(b *testing.B) { run(b, newReg(full)) })
+}
+
+// BenchmarkP10_TraceOverhead prices the observability layer in the P5
+// regime: a registry-dispatched parallel 4-PDP chain whose members each
+// carry a simulated 200µs callout latency (the networked-PDP case the
+// gatekeeper actually runs). Three series: observability off, metric
+// counters alone, and the full per-request decision trace (request ID,
+// span per PDP, retained in a trace store) on top of the counters. The
+// acceptance bar for this PR is the traced series within 5% of
+// disabled — the span bookkeeping must disappear under a real callout
+// round trip.
+func BenchmarkP10_TraceOverhead(b *testing.B) {
+	users := workload.NFCUsers(1, 1, 1)
+	voPol, err := workload.NFCPolicy(users)
+	if err != nil {
+		b.Fatal(err)
+	}
+	local, err := workload.NFCLocalPolicy()
+	if err != nil {
+		b.Fatal(err)
+	}
+	req := &core.Request{
+		Subject: users[1].DN,
+		Action:  policy.ActionStart,
+		Spec:    mustBenchSpec(b, benchAnalystJob),
+	}
+	const delay = 200 * time.Microsecond
+	newReg := func(m *obs.Metrics) *core.Registry {
+		reg := core.NewRegistry()
+		for i := 0; i < 4; i++ {
+			pol := voPol
+			if i%2 == 1 {
+				pol = local
+			}
+			reg.Bind(core.CalloutJobManager, &latencyPDP{inner: &core.PolicyPDP{Policy: pol}, delay: delay})
+		}
+		reg.SetCalloutOptions(core.CalloutJobManager, core.CalloutOptions{Parallel: true})
+		if m != nil {
+			reg.SetMetrics(m)
+		}
+		return reg
+	}
+	b.Run("disabled", func(b *testing.B) {
+		reg := newReg(nil)
+		for i := 0; i < b.N; i++ {
+			if d := reg.Invoke(core.CalloutJobManager, req); d.Effect != core.Permit {
+				b.Fatal(d.Reason)
+			}
+		}
+	})
+	b.Run("metrics", func(b *testing.B) {
+		reg := newReg(obs.NewMetrics())
+		for i := 0; i < b.N; i++ {
+			if d := reg.Invoke(core.CalloutJobManager, req); d.Effect != core.Permit {
+				b.Fatal(d.Reason)
+			}
+		}
+	})
+	b.Run("traced", func(b *testing.B) {
+		reg := newReg(obs.NewMetrics())
+		store := obs.NewTraceStore(1024)
+		for i := 0; i < b.N; i++ {
+			// Per-request trace lifecycle exactly as the gatekeeper runs
+			// it: fresh ID and trace, spans recorded during evaluation,
+			// summary finished, trace retained.
+			rid := obs.NewRequestID()
+			tr := obs.NewTrace(rid, string(req.Subject))
+			ctx := obs.WithTrace(obs.WithRequestID(context.Background(), rid), tr)
+			d := reg.InvokeContext(ctx, core.CalloutJobManager, req)
+			if d.Effect != core.Permit {
+				b.Fatal(d.Reason)
+			}
+			tr.Finish(core.CalloutJobManager, req.Action, d.Effect.String(), d.Source, d.Reason)
+			store.Publish(tr)
+		}
+	})
 }
 
 // BenchmarkAblation_CombineModes compares decision-combination

@@ -22,11 +22,14 @@ import (
 	"io"
 	"os"
 	"os/exec"
+	"path/filepath"
+	"regexp"
 	"strings"
 
 	"gridauth/internal/analysis"
 	"gridauth/internal/analysis/authlint"
 	"gridauth/internal/doclint"
+	"gridauth/internal/obs"
 )
 
 func main() {
@@ -38,6 +41,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	list := fs.Bool("list", false, "print the analyzers and exit")
 	docs := fs.Bool("docs", true, "also cross-check documentation references (doclint)")
+	metricsOnly := fs.Bool("metrics-only", false, "only check docs/OBSERVABILITY.md against the metric catalog and exit")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -46,6 +50,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stdout, "%-15s %s\n", a.Name, a.Doc)
 		}
 		fmt.Fprintf(stdout, "%-15s %s\n", "doclint", "documentation references (paths, links, symbols) must resolve against the tree")
+		fmt.Fprintf(stdout, "%-15s %s\n", "metricsdoc", "docs/OBSERVABILITY.md's metric table must match obs.Catalog() exactly")
+		return 0
+	}
+	if *metricsOnly {
+		n, err := runMetricsDoc(stdout)
+		if err != nil {
+			fmt.Fprintln(stderr, "authlint: metricsdoc:", err)
+			return 2
+		}
+		if n > 0 {
+			fmt.Fprintf(stderr, "authlint: %d finding(s)\n", n)
+			return 1
+		}
 		return 0
 	}
 	patterns := fs.Args()
@@ -80,6 +97,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 2
 		}
 		findings += n
+		n, err = runMetricsDoc(stdout)
+		if err != nil {
+			fmt.Fprintln(stderr, "authlint: metricsdoc:", err)
+			return 2
+		}
+		findings += n
 	}
 	if findings > 0 {
 		fmt.Fprintf(stderr, "authlint: %d finding(s)\n", findings)
@@ -107,6 +130,56 @@ func runDoclint(stdout io.Writer) (int, error) {
 		fmt.Fprintf(stdout, "%s:%d: doclint: %q: %s\n", p.File, p.Line, p.Ref, p.Msg)
 	}
 	return len(problems), nil
+}
+
+// runMetricsDoc cross-checks the documented metric catalog against the
+// authoritative one: every metric obs.Catalog() exposes must appear as
+// a backticked name between the metrics:begin/metrics:end markers of
+// docs/OBSERVABILITY.md, and nothing may be documented that the code
+// does not export. This keeps `GET /metrics` and its documentation from
+// drifting apart — the check fails CI from either direction.
+func runMetricsDoc(stdout io.Writer) (int, error) {
+	root, err := moduleRoot()
+	if err != nil {
+		return 0, err
+	}
+	docPath := filepath.Join(root, "docs", "OBSERVABILITY.md")
+	data, err := os.ReadFile(docPath)
+	if err != nil {
+		return 0, err
+	}
+	text := string(data)
+	const beginMarker, endMarker = "<!-- metrics:begin -->", "<!-- metrics:end -->"
+	begin := strings.Index(text, beginMarker)
+	end := strings.Index(text, endMarker)
+	rel := filepath.ToSlash(filepath.Join("docs", "OBSERVABILITY.md"))
+	if begin < 0 || end < 0 || end < begin {
+		fmt.Fprintf(stdout, "%s:1: metricsdoc: metric table markers %q/%q missing or out of order\n", rel, beginMarker, endMarker)
+		return 1, nil
+	}
+	table := text[begin+len(beginMarker) : end]
+	tableLine := 1 + strings.Count(text[:begin], "\n")
+
+	documented := make(map[string]bool)
+	for _, m := range regexp.MustCompile("`([a-z][a-z0-9_]*)`").FindAllStringSubmatch(table, -1) {
+		documented[m[1]] = true
+	}
+	findings := 0
+	exported := make(map[string]bool)
+	for _, d := range obs.Catalog() {
+		exported[d.Name] = true
+		if !documented[d.Name] {
+			fmt.Fprintf(stdout, "%s:%d: metricsdoc: exported metric %q (%s) is not in the documented catalog\n", rel, tableLine, d.Name, d.Kind)
+			findings++
+		}
+	}
+	for name := range documented {
+		if !exported[name] {
+			fmt.Fprintf(stdout, "%s:%d: metricsdoc: documented metric %q is not exported by obs.Catalog()\n", rel, tableLine, name)
+			findings++
+		}
+	}
+	return findings, nil
 }
 
 // moduleRoot resolves the enclosing module's directory.

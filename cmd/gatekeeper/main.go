@@ -24,6 +24,8 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -37,6 +39,7 @@ import (
 	"gridauth/internal/gridmap"
 	"gridauth/internal/gsi"
 	"gridauth/internal/jobcontrol"
+	"gridauth/internal/obs"
 	"gridauth/internal/resilience"
 )
 
@@ -73,11 +76,27 @@ func run(args []string) error {
 	connWorkers := fs.Int("conn-workers", 0, "max concurrent requests per multiplexed connection (0 = default 8)")
 	handshakeTimeout := fs.Duration("handshake-timeout", 0, "GSI handshake deadline on accepted connections (0 = default 10s, negative disables)")
 	idleTimeout := fs.Duration("idle-timeout", 0, "idle connection timeout (0 = default 5m, negative disables)")
+	metricsAddr := fs.String("metrics-addr", "", "serve GET /metrics, /trace?id= and /traces on this address (empty disables observability)")
+	pprofEnabled := fs.Bool("pprof", false, "expose net/http/pprof handlers on the -metrics-addr server")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *state == "" || *gridmapPath == "" {
 		return fmt.Errorf("-state and -gridmap are required")
+	}
+	if *pprofEnabled && *metricsAddr == "" {
+		return fmt.Errorf("-pprof requires -metrics-addr")
+	}
+
+	// Observability is a unit: -metrics-addr turns on both the metric
+	// counters and decision-trace retention, served from one endpoint.
+	var (
+		metrics *obs.Metrics
+		traces  *obs.TraceStore
+	)
+	if *metricsAddr != "" {
+		metrics = obs.NewMetrics()
+		traces = obs.NewTraceStore(0)
 	}
 
 	gmapFile, err := os.Open(*gridmapPath)
@@ -146,7 +165,7 @@ func run(args []string) error {
 		// The resilience wrapper has to be installed whether the knobs
 		// arrive via flags or via a -callout-config "options" line; it is
 		// inert for callout types whose options request nothing.
-		resilience.Install(reg, nil)
+		resilience.Install(reg, nil, metrics)
 		// Flag-level tuning; a -callout-config "options" line can set the
 		// same knobs per callout type and takes effect above.
 		if *authzParallel || *authzCache || *pdpTimeout > 0 || *authzRetries > 0 || *breaker {
@@ -192,6 +211,9 @@ func run(args []string) error {
 			}
 		}
 	}
+	if metrics != nil {
+		reg.SetMetrics(metrics)
+	}
 	gkPlacement := gram.PlacementJM
 	if *placement == "gatekeeper" {
 		gkPlacement = gram.PlacementGatekeeper
@@ -212,9 +234,30 @@ func run(args []string) error {
 		ConnWorkers:      *connWorkers,
 		HandshakeTimeout: *handshakeTimeout,
 		IdleTimeout:      *idleTimeout,
+		Metrics:          metrics,
+		Traces:           traces,
 	})
 	if err != nil {
 		return err
+	}
+
+	if *metricsAddr != "" {
+		mux := obs.NewServeMux(metrics, traces)
+		if *pprofEnabled {
+			mux.HandleFunc("/debug/pprof/", pprof.Index)
+			mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+			mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+			mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+			mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		}
+		ml, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			return err
+		}
+		msrv := &http.Server{Handler: mux}
+		go func() { _ = msrv.Serve(ml) }()
+		defer msrv.Close()
+		log.Printf("gatekeeper: observability on http://%s/metrics (pprof=%v)", ml.Addr(), *pprofEnabled)
 	}
 
 	l, err := net.Listen("tcp", *listen)

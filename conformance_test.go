@@ -1,0 +1,433 @@
+package gridauth
+
+// End-to-end conformance suite for the paper's usage scenarios (§2, §5.1,
+// §6): each case replays one of the policy situations the paper
+// describes over a real in-process gatekeeper and GSI client, and then
+// — this is the point of the suite — asserts not only the wire-visible
+// result but the full observability record of the decision: the audit
+// record (with its request ID), the retained decision trace, and the
+// per-PDP spans inside it. The scenarios covered:
+//
+//  1. VO grants and the resource owner does not object       -> permit
+//  2. VO grants but the resource owner's policy objects      -> deny
+//  3. resource owner silent, VO grant unsatisfied            -> deny
+//  4. jobtag group management by a non-initiator (§5.1)      -> permit
+//  5. "jobowner = self" management of one's own job          -> permit
+//  6. the same rule withholding someone else's job           -> deny
+//  7. "jobtag != NULL" requirement on an absent attribute    -> deny
+//  8. an action no statement asserts (default deny, §5.2)    -> deny
+//  9. limited proxy refused before any callout (GT2 rule)    -> refusal
+//
+// Every decision case checks: one new audit record, carrying a
+// RequestID; a trace retrievable under that ID; one span per PDP the
+// combiner actually consulted, with the per-source effects the policy
+// semantics dictate.
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"gridauth/internal/audit"
+	"gridauth/internal/gram"
+	"gridauth/internal/gsi"
+	"gridauth/internal/obs"
+	"gridauth/internal/policy"
+)
+
+// The conformance fabric: one organization, three members with the
+// paper's §2 roles (a code developer, an analyst running the service
+// codes, and a group administrator managing the community's jobs).
+const (
+	confOrg = "/O=Grid/O=NFC"
+	confDev = confOrg + "/CN=Dana Developer"
+	confAna = confOrg + "/CN=Alan Analyst"
+	confAdm = confOrg + "/CN=Ada Admin"
+
+	voPDP    = "policy:VO"
+	localPDP = "policy:local"
+)
+
+// confVOPolicy is the community policy: an organization-wide
+// requirement that every job startup is tagged, per-member grant sets
+// for startup, and management rights expressed two ways — through job
+// ownership ("jobowner = self") and through tag-based group management
+// ("jobtag = ..." held by the administrator). The developer
+// deliberately holds no "signal" grant, so scenario 8 can show default
+// deny on an unasserted action.
+const confVOPolicy = confOrg + `: &(action = start)(jobtag != NULL)
+` + confDev + `: &(action = start)(executable = sim)(jobtag = DEV)(count<=4) &(action = cancel information)(jobowner = self)
+` + confAna + `: &(action = start)(executable = TRANSP)(jobtag = NFC) &(action = cancel information signal)(jobowner = self)
+` + confAdm + `: &(action = start)(executable = TRANSP)(jobtag = NFC) &(action = cancel information signal)(jobtag = NFC DEV)
+`
+
+// confLocalPolicy is the resource owner's policy: requirement sets only
+// (the owner restricts, the VO grants — the paper's division of
+// labour), so its PDP abstains unless a restriction is violated.
+const confLocalPolicy = `/O=Grid: &(action = start)(queue != fast)(count<=64)
+/O=Grid: &(action = cancel information signal)(executable != NULL)
+`
+
+type confEnv struct {
+	fab     *Fabric
+	res     *Resource
+	log     *audit.Log
+	metrics *obs.Metrics
+	traces  *obs.TraceStore
+	dev     *gsi.Credential
+	ana     *gsi.Credential
+	adm     *gsi.Credential
+}
+
+func newConfEnv(t *testing.T) *confEnv {
+	t.Helper()
+	fab, err := NewFabric("/O=Grid/CN=Conformance CA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := &confEnv{
+		fab:     fab,
+		log:     audit.NewLog(256),
+		metrics: obs.NewMetrics(),
+		traces:  obs.NewTraceStore(256),
+	}
+	for dn, credp := range map[string]**gsi.Credential{
+		confDev: &e.dev, confAna: &e.ana, confAdm: &e.adm,
+	} {
+		c, err := fab.IssueUser(dn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		*credp = c
+	}
+	e.res, err = fab.StartResource(ResourceConfig{
+		Name: "conformance.anl.gov", Mode: ModeCallout,
+		GridMap: map[gsi.DN][]string{
+			gsi.DN(confDev): {"dev1"},
+			gsi.DN(confAna): {"ana1"},
+			gsi.DN(confAdm): {"adm1"},
+		},
+		VOPolicy:       confVOPolicy,
+		LocalPolicy:    confLocalPolicy,
+		AuditLog:       e.log,
+		Metrics:        e.metrics,
+		DecisionTraces: e.traces,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(e.res.Close)
+	return e
+}
+
+// spanEffects indexes a trace's spans as PDP name -> effect, failing on
+// duplicates (each PDP is consulted at most once per decision).
+func spanEffects(t *testing.T, spans []obs.Span) map[string]string {
+	t.Helper()
+	out := make(map[string]string, len(spans))
+	for _, sp := range spans {
+		if _, dup := out[sp.PDP]; dup {
+			t.Fatalf("trace has two spans for PDP %s", sp.PDP)
+		}
+		out[sp.PDP] = sp.Effect
+	}
+	return out
+}
+
+// lastDecision asserts that exactly one audit record was appended past
+// `before`, that it carries a request ID with a retrievable trace, and
+// returns both.
+func (e *confEnv) lastDecision(t *testing.T, before int) (audit.Record, obs.TraceRecord) {
+	t.Helper()
+	recs := e.log.Records()
+	if len(recs) != before+1 {
+		t.Fatalf("audit records = %d, want %d", len(recs), before+1)
+	}
+	rec := recs[len(recs)-1]
+	if rec.RequestID == "" {
+		t.Fatal("audit record carries no request ID")
+	}
+	tr, ok := e.traces.Get(rec.RequestID)
+	if !ok {
+		t.Fatalf("no decision trace retained for request %s", rec.RequestID)
+	}
+	if len(tr.Spans) != len(rec.Spans) {
+		t.Fatalf("trace has %d spans but the audit record carries %d", len(tr.Spans), len(rec.Spans))
+	}
+	return rec, tr
+}
+
+func TestConformanceScenarios(t *testing.T) {
+	e := newConfEnv(t)
+	dev := mustClient(t, e.res, e.dev)
+	ana := mustClient(t, e.res, e.ana)
+	adm := mustClient(t, e.res, e.adm)
+
+	// Jobs created along the way, shared by the management scenarios.
+	var devJob, anaJob string
+
+	t.Run("1 VO grants and owner does not object", func(t *testing.T) {
+		before := e.log.Len()
+		contact, err := dev.Submit(`&(executable=sim)(count=2)(jobtag=DEV)(simduration=600)`, "")
+		if err != nil {
+			t.Fatalf("conforming submit: %v", err)
+		}
+		devJob = contact
+		rec, tr := e.lastDecision(t, before)
+		if rec.Effect != "permit" || rec.Action != policy.ActionStart || rec.Subject != confDev {
+			t.Errorf("record = %+v", rec)
+		}
+		if tr.Effect != "permit" || tr.Action != policy.ActionStart {
+			t.Errorf("trace summary = %+v", tr)
+		}
+		// The VO grants; the restriction-only local policy abstains. Both
+		// sources were consulted, so the trace holds one span each.
+		eff := spanEffects(t, tr.Spans)
+		if eff[voPDP] != "permit" || eff[localPDP] != "not-applicable" || len(eff) != 2 {
+			t.Errorf("span effects = %v", eff)
+		}
+	})
+
+	t.Run("2 VO grants but the owner objects", func(t *testing.T) {
+		before := e.log.Len()
+		_, err := dev.Submit(`&(executable=sim)(count=2)(jobtag=DEV)(queue=fast)`, "")
+		if !gram.IsAuthorizationDenied(err) {
+			t.Fatalf("reserved queue not denied: %v", err)
+		}
+		rec, tr := e.lastDecision(t, before)
+		if rec.Effect != "deny" {
+			t.Errorf("record effect = %s", rec.Effect)
+		}
+		// The VO permitted, then the owner's "queue != fast" vetoed: both
+		// spans present, the denial attributed to the local source.
+		eff := spanEffects(t, tr.Spans)
+		if eff[voPDP] != "permit" || eff[localPDP] != "deny" || len(eff) != 2 {
+			t.Errorf("span effects = %v", eff)
+		}
+		if !strings.Contains(rec.Source, "local") {
+			t.Errorf("denial source = %s, want the local policy", rec.Source)
+		}
+	})
+
+	t.Run("3 VO grant unsatisfied", func(t *testing.T) {
+		before := e.log.Len()
+		_, err := dev.Submit(`&(executable=rogue-binary)(count=2)(jobtag=DEV)`, "")
+		if !gram.IsAuthorizationDenied(err) {
+			t.Fatalf("unlisted executable not denied: %v", err)
+		}
+		_, tr := e.lastDecision(t, before)
+		// The VO's start grant applied and was violated, so the combiner
+		// stopped there: exactly one span, the VO denial. The local PDP
+		// was never consulted.
+		eff := spanEffects(t, tr.Spans)
+		if eff[voPDP] != "deny" || len(eff) != 1 {
+			t.Errorf("span effects = %v", eff)
+		}
+	})
+
+	t.Run("4 group management by a non-initiator", func(t *testing.T) {
+		before := e.log.Len()
+		// The administrator never started devJob, but holds the
+		// "jobtag = NFC DEV" management grant — the paper's §5.1 group
+		// management use case, impossible under initiator-only GT2.
+		if err := adm.Cancel(devJob); err != nil {
+			t.Fatalf("group-manager cancel: %v", err)
+		}
+		rec, tr := e.lastDecision(t, before)
+		if rec.Effect != "permit" || rec.Action != policy.ActionCancel {
+			t.Errorf("record = %+v", rec)
+		}
+		if rec.Subject != confAdm || rec.JobOwner != gsi.DN(confDev) {
+			t.Errorf("management record subject/owner = %s/%s", rec.Subject, rec.JobOwner)
+		}
+		eff := spanEffects(t, tr.Spans)
+		if eff[voPDP] != "permit" || eff[localPDP] != "not-applicable" || len(eff) != 2 {
+			t.Errorf("span effects = %v", eff)
+		}
+	})
+
+	t.Run("5 jobowner=self grants own job", func(t *testing.T) {
+		contact, err := ana.Submit(`&(executable=TRANSP)(jobtag=NFC)(simduration=600)`, "")
+		if err != nil {
+			t.Fatalf("analyst submit: %v", err)
+		}
+		anaJob = contact
+		before := e.log.Len()
+		if err := ana.Cancel(anaJob); err != nil {
+			t.Fatalf("self cancel: %v", err)
+		}
+		rec, tr := e.lastDecision(t, before)
+		if rec.Effect != "permit" || rec.Action != policy.ActionCancel || rec.Subject != confAna {
+			t.Errorf("record = %+v", rec)
+		}
+		if eff := spanEffects(t, tr.Spans); eff[voPDP] != "permit" {
+			t.Errorf("span effects = %v", eff)
+		}
+	})
+
+	t.Run("6 jobowner=self withholds another's job", func(t *testing.T) {
+		contact, err := dev.Submit(`&(executable=sim)(count=1)(jobtag=DEV)(simduration=600)`, "")
+		if err != nil {
+			t.Fatalf("developer resubmit: %v", err)
+		}
+		devJob = contact
+		before := e.log.Len()
+		if err := ana.Cancel(devJob); !gram.IsAuthorizationDenied(err) {
+			t.Fatalf("analyst canceled a developer job: %v", err)
+		}
+		rec, tr := e.lastDecision(t, before)
+		if rec.Effect != "deny" || rec.Subject != confAna {
+			t.Errorf("record = %+v", rec)
+		}
+		// "jobowner = self" resolved to the analyst, did not match the
+		// developer-owned job, and the applicable grant denied.
+		if eff := spanEffects(t, tr.Spans); eff[voPDP] != "deny" {
+			t.Errorf("span effects = %v", eff)
+		}
+	})
+
+	t.Run("7 jobtag != NULL requirement", func(t *testing.T) {
+		before := e.log.Len()
+		_, err := dev.Submit(`&(executable=sim)(count=2)`, "")
+		if !gram.IsAuthorizationDenied(err) {
+			t.Fatalf("untagged submit not denied: %v", err)
+		}
+		rec, tr := e.lastDecision(t, before)
+		// The organization-wide "(jobtag != NULL)" requirement rejects a
+		// request that omits the attribute — the paper's NULL marker.
+		if rec.Effect != "deny" {
+			t.Errorf("record effect = %s", rec.Effect)
+		}
+		if eff := spanEffects(t, tr.Spans); eff[voPDP] != "deny" {
+			t.Errorf("span effects = %v", eff)
+		}
+	})
+
+	t.Run("8 unasserted action is default-denied", func(t *testing.T) {
+		before := e.log.Len()
+		// No statement grants the developer "signal" — on their own job
+		// or anyone's. Both sources abstain and the combiner's default
+		// deny closes the gap.
+		if err := dev.Signal(devJob, "suspend", ""); !gram.IsAuthorizationDenied(err) {
+			t.Fatalf("unasserted action not denied: %v", err)
+		}
+		rec, tr := e.lastDecision(t, before)
+		if rec.Effect != "deny" || rec.Action != policy.ActionSignal {
+			t.Errorf("record = %+v", rec)
+		}
+		if !strings.Contains(rec.Reason, "default deny") {
+			t.Errorf("reason = %q, want the combiner's default deny", rec.Reason)
+		}
+		eff := spanEffects(t, tr.Spans)
+		if eff[voPDP] != "not-applicable" || eff[localPDP] != "not-applicable" || len(eff) != 2 {
+			t.Errorf("span effects = %v", eff)
+		}
+	})
+
+	t.Run("9 limited proxy refused before callout", func(t *testing.T) {
+		beforeRecords := e.log.Len()
+		beforeTraces := e.traces.Len()
+		limited, err := gsi.Delegate(e.dev, time.Hour, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := gram.NewClient(e.res.Addr, limited, e.fab.Trust)
+		defer c.Close()
+		_, err = c.Submit(`&(executable=sim)(count=1)(jobtag=DEV)`, "")
+		var pe *gram.ProtoError
+		if !asProtoError(err, &pe) || pe.Code != gram.CodeAuthentication {
+			t.Fatalf("limited-proxy submit = %v, want an authentication refusal", err)
+		}
+		// The GT2 rule fires before any callout: no audit record, but the
+		// request still left a retrievable (span-less) trace.
+		if got := e.log.Len(); got != beforeRecords {
+			t.Errorf("audit records = %d, want %d (refusal precedes the PEP)", got, beforeRecords)
+		}
+		if got := e.traces.Len(); got != beforeTraces+1 {
+			t.Fatalf("retained traces = %d, want %d", got, beforeTraces+1)
+		}
+		ids := e.traces.RequestIDs()
+		tr, ok := e.traces.Get(ids[len(ids)-1])
+		if !ok {
+			t.Fatal("newest trace not retrievable")
+		}
+		if tr.Subject != confDev || len(tr.Spans) != 0 {
+			t.Errorf("pre-callout trace = %+v, want the developer's span-less trace", tr)
+		}
+	})
+
+	// The metric counters saw every decision above: 4 permits (scenarios
+	// 1, 4, 5 and the submit inside 5... plus 6's resubmit) and 5 denies.
+	permits := e.metrics.DecisionsPermit.Load()
+	denies := e.metrics.DecisionsDeny.Load()
+	if permits != 5 || denies != 5 {
+		t.Errorf("decision counters = %d permits / %d denies, want 5/5", permits, denies)
+	}
+	if got := e.metrics.HandshakesFailed.Load(); got != 0 {
+		t.Errorf("failed handshakes = %d, want 0", got)
+	}
+	if full := e.metrics.HandshakesFull.Load(); full < 4 {
+		t.Errorf("full handshakes = %d, want at least one per client", full)
+	}
+	if e.metrics.DecisionSeconds.Count() != permits+denies {
+		t.Errorf("latency histogram count = %d, want %d", e.metrics.DecisionSeconds.Count(), permits+denies)
+	}
+}
+
+// TestConformanceRequestIDsEndToEnd submits concurrently from three
+// identities and checks that request IDs never cross wires: every audit
+// record's ID resolves to a trace whose subject and action match that
+// record, and no ID repeats.
+func TestConformanceRequestIDsEndToEnd(t *testing.T) {
+	e := newConfEnv(t)
+	clients := map[string]*gram.Client{
+		confDev: mustClient(t, e.res, e.dev),
+		confAna: mustClient(t, e.res, e.ana),
+		confAdm: mustClient(t, e.res, e.adm),
+	}
+	rsls := map[string]string{
+		confDev: `&(executable=sim)(count=1)(jobtag=DEV)`,
+		confAna: `&(executable=TRANSP)(jobtag=NFC)`,
+		confAdm: `&(executable=TRANSP)(jobtag=NFC)`,
+	}
+
+	const perUser = 8
+	var wg sync.WaitGroup
+	for dn, c := range clients {
+		wg.Add(1)
+		go func(dn string, c *gram.Client) {
+			defer wg.Done()
+			for i := 0; i < perUser; i++ {
+				if _, err := c.Submit(rsls[dn], ""); err != nil {
+					t.Errorf("%s submit: %v", dn, err)
+					return
+				}
+			}
+		}(dn, c)
+	}
+	wg.Wait()
+
+	recs := e.log.Records()
+	if len(recs) != len(clients)*perUser {
+		t.Fatalf("audit records = %d, want %d", len(recs), len(clients)*perUser)
+	}
+	seen := make(map[string]bool, len(recs))
+	for _, rec := range recs {
+		if rec.RequestID == "" {
+			t.Fatal("audit record carries no request ID")
+		}
+		if seen[rec.RequestID] {
+			t.Fatalf("request ID %s appears on two records", rec.RequestID)
+		}
+		seen[rec.RequestID] = true
+		tr, ok := e.traces.Get(rec.RequestID)
+		if !ok {
+			t.Fatalf("no trace for request %s", rec.RequestID)
+		}
+		if tr.Subject != string(rec.Subject) || tr.Action != rec.Action {
+			t.Fatalf("trace %s carries %s/%s but its record says %s/%s",
+				rec.RequestID, tr.Subject, tr.Action, rec.Subject, rec.Action)
+		}
+	}
+}

@@ -47,6 +47,7 @@ import (
 	"gridauth/internal/gridmap"
 	"gridauth/internal/gsi"
 	"gridauth/internal/jobcontrol"
+	"gridauth/internal/obs"
 	"gridauth/internal/policy"
 	"gridauth/internal/resilience"
 	"gridauth/internal/sandbox"
@@ -207,6 +208,15 @@ type ResourceConfig struct {
 	// AuditLog, when set, receives the resource's authorization audit
 	// records, including circuit-breaker state transitions.
 	AuditLog *audit.Log
+	// Metrics, when set, receives the resource's observability counters
+	// and latency histograms (docs/OBSERVABILITY.md): decision counts by
+	// effect, cache hit ratio, retries, breaker transitions, handshake
+	// and connection gauges.
+	Metrics *obs.Metrics
+	// DecisionTraces, when set, retains a per-request decision trace
+	// (one span per PDP evaluated) for every gatekeeper request,
+	// retrievable by the RequestID stamped on audit records.
+	DecisionTraces *obs.TraceStore
 	// Sandbox attaches a kill-on-violation sandbox monitor to the
 	// resource's scheduler.
 	Sandbox bool
@@ -335,12 +345,15 @@ func (f *Fabric) StartResource(cfg ResourceConfig) (*Resource, error) {
 			}
 		}
 	}
+	if cfg.Metrics != nil {
+		reg.SetMetrics(cfg.Metrics)
+	}
 	resilient := cfg.PDPTimeout > 0 || cfg.AuthzRetries > 0 || cfg.CircuitBreaker
 	if resilient {
 		// The wrapper must be installed before options that use it take
 		// effect; SetPDPWrapper rebuilds every chain, so order relative
 		// to SetCalloutOptions does not otherwise matter.
-		resilience.Install(reg, cfg.AuditLog)
+		resilience.Install(reg, cfg.AuditLog, cfg.Metrics)
 	}
 	if cfg.ParallelAuthz || cfg.DecisionCache || resilient {
 		o := core.CalloutOptions{
@@ -395,6 +408,9 @@ func (f *Fabric) StartResource(cfg ResourceConfig) (*Resource, error) {
 		ConnWorkers:      cfg.ConnWorkers,
 		HandshakeTimeout: cfg.HandshakeTimeout,
 		IdleTimeout:      cfg.IdleTimeout,
+		Audit:            cfg.AuditLog,
+		Metrics:          cfg.Metrics,
+		Traces:           cfg.DecisionTraces,
 	}
 	if cfg.Allocation != nil {
 		cfg.Allocation.Attach(cluster)

@@ -8,6 +8,7 @@
 package audit
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -16,21 +17,31 @@ import (
 
 	"gridauth/internal/core"
 	"gridauth/internal/gsi"
+	"gridauth/internal/obs"
 )
 
 // Record is one audited authorization decision.
 type Record struct {
-	Time     time.Time `json:"time"`
-	Subject  gsi.DN    `json:"subject"`
-	Action   string    `json:"action"`
-	JobID    string    `json:"jobId,omitempty"`
-	JobOwner gsi.DN    `json:"jobOwner,omitempty"`
-	PDP      string    `json:"pdp"`
-	Effect   string    `json:"effect"`
-	Source   string    `json:"source,omitempty"`
-	Reason   string    `json:"reason,omitempty"`
+	Time time.Time `json:"time"`
+	// RequestID correlates every record of one gatekeeper request (and
+	// its retained decision trace, when tracing is on). Generated once
+	// per request at the gatekeeper dispatch point; empty for records
+	// that do not belong to a request (circuit-breaker transitions).
+	RequestID string    `json:"requestId,omitempty"`
+	Subject   gsi.DN    `json:"subject"`
+	Action    string    `json:"action"`
+	JobID     string    `json:"jobId,omitempty"`
+	JobOwner  gsi.DN    `json:"jobOwner,omitempty"`
+	PDP       string    `json:"pdp"`
+	Effect    string    `json:"effect"`
+	Source    string    `json:"source,omitempty"`
+	Reason    string    `json:"reason,omitempty"`
 	// Elapsed is the decision latency.
 	Elapsed time.Duration `json:"elapsedNanos"`
+	// Spans is the per-PDP decision path of a traced request (one span
+	// per PDP evaluated, or a single cache-hit span); empty when tracing
+	// is disabled.
+	Spans []obs.Span `json:"spans,omitempty"`
 }
 
 // Log is a bounded, concurrency-safe decision log (a ring buffer: old
@@ -152,26 +163,67 @@ func ReadJSONL(r io.Reader) ([]Record, error) {
 }
 
 // Wrap returns a PDP that forwards to inner and records every decision.
+// The wrapper is context-aware: the caller's context reaches inner, and
+// a request correlation ID riding on it (obs.WithRequestID) is stamped
+// onto the record. Capability declarations are forwarded so combiners
+// and caches treat the wrapped PDP exactly like the bare one.
 func Wrap(inner core.PDP, log *Log) core.PDP {
-	return core.PDPFunc{
-		ID: inner.Name(),
-		Fn: func(req *core.Request) core.Decision {
-			start := time.Now()
-			d := inner.Authorize(req)
-			log.Append(Record{
-				Subject:  req.Subject,
-				Action:   req.Action,
-				JobID:    req.JobID,
-				JobOwner: req.JobOwner,
-				PDP:      inner.Name(),
-				Effect:   d.Effect.String(),
-				Source:   d.Source,
-				Reason:   d.Reason,
-				Elapsed:  time.Since(start),
-			})
-			return d
-		},
+	return &auditedPDP{
+		inner:       inner,
+		name:        inner.Name(),
+		effectful:   core.IsSideEffecting(inner),
+		nonBlocking: core.IsNonBlocking(inner),
+		log:         log,
 	}
+}
+
+type auditedPDP struct {
+	inner       core.PDP
+	name        string
+	effectful   bool
+	nonBlocking bool
+	log         *Log
+}
+
+var (
+	_ core.ContextPDP     = (*auditedPDP)(nil)
+	_ core.EffectfulPDP   = (*auditedPDP)(nil)
+	_ core.NonBlockingPDP = (*auditedPDP)(nil)
+)
+
+// Name implements core.PDP; the wrapper is invisible.
+func (p *auditedPDP) Name() string { return p.name }
+
+// SideEffecting implements core.EffectfulPDP by forwarding inner's
+// declaration.
+func (p *auditedPDP) SideEffecting() bool { return p.effectful }
+
+// NonBlocking implements core.NonBlockingPDP by forwarding inner's
+// declaration.
+func (p *auditedPDP) NonBlocking() bool { return p.nonBlocking }
+
+// Authorize implements core.PDP.
+func (p *auditedPDP) Authorize(req *core.Request) core.Decision {
+	return p.AuthorizeContext(context.Background(), req)
+}
+
+// AuthorizeContext implements core.ContextPDP.
+func (p *auditedPDP) AuthorizeContext(ctx context.Context, req *core.Request) core.Decision {
+	start := time.Now()
+	d := core.AuthorizeWithContext(ctx, p.inner, req)
+	p.log.Append(Record{
+		RequestID: obs.RequestIDFrom(ctx),
+		Subject:   req.Subject,
+		Action:    req.Action,
+		JobID:     req.JobID,
+		JobOwner:  req.JobOwner,
+		PDP:       p.name,
+		Effect:    d.Effect.String(),
+		Source:    d.Source,
+		Reason:    d.Reason,
+		Elapsed:   time.Since(start),
+	})
+	return d
 }
 
 // InstrumentRegistry rebinds a callout type so that its combined

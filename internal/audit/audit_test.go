@@ -2,11 +2,14 @@ package audit
 
 import (
 	"bytes"
+	"context"
+	"sync"
 	"testing"
 	"testing/quick"
 	"time"
 
 	"gridauth/internal/core"
+	"gridauth/internal/obs"
 	"gridauth/internal/policy"
 )
 
@@ -164,4 +167,92 @@ func itoa(n int) string {
 		n /= 10
 	}
 	return string(b)
+}
+
+func TestWrapStampsRequestIDFromContext(t *testing.T) {
+	log := NewLog(16)
+	pdp := Wrap(permitPDP(), log)
+	rid := obs.NewRequestID()
+	ctx := obs.WithRequestID(context.Background(), rid)
+	req := &core.Request{Subject: kate, Action: policy.ActionStart}
+	if d := core.AuthorizeWithContext(ctx, pdp, req); d.Effect != core.Permit {
+		t.Fatalf("decision = %v", d.Effect)
+	}
+	recs := log.Records()
+	if len(recs) != 1 || recs[0].RequestID != rid {
+		t.Fatalf("records = %+v, want one record with id %s", recs, rid)
+	}
+	// Without a context ID the field stays empty — the record still lands.
+	pdp.Authorize(req)
+	recs = log.Records()
+	if len(recs) != 2 || recs[1].RequestID != "" {
+		t.Fatalf("ctx-less record = %+v, want empty RequestID", recs[len(recs)-1])
+	}
+}
+
+// TestConcurrentRequestIDsNeverInterleave drives many goroutines through
+// one audited PDP, each with its own request ID and a distinguishing
+// JobID. Every retained record must pair the request ID with the JobID
+// it was issued for — concurrent appends must not mix fields across
+// requests.
+func TestConcurrentRequestIDsNeverInterleave(t *testing.T) {
+	const workers, perWorker = 8, 50
+	log := NewLog(workers * perWorker)
+	pdp := Wrap(permitPDP(), log)
+
+	idOf := func(w, i int) string { return "req-" + itoa(w) + "-" + itoa(i) }
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				rid := idOf(w, i)
+				ctx := obs.WithRequestID(context.Background(), rid)
+				req := &core.Request{Subject: kate, Action: policy.ActionStart, JobID: rid}
+				core.AuthorizeWithContext(ctx, pdp, req)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	recs := log.Records()
+	if len(recs) != workers*perWorker {
+		t.Fatalf("records = %d, want %d", len(recs), workers*perWorker)
+	}
+	seen := make(map[string]bool, len(recs))
+	for _, r := range recs {
+		if r.RequestID == "" || r.RequestID != r.JobID {
+			t.Fatalf("record interleaved ids: requestId=%q jobId=%q", r.RequestID, r.JobID)
+		}
+		if seen[r.RequestID] {
+			t.Fatalf("duplicate request id %s", r.RequestID)
+		}
+		seen[r.RequestID] = true
+	}
+}
+
+func TestGeneratedRequestIDsUniqueUnderConcurrency(t *testing.T) {
+	const workers, perWorker = 8, 200
+	ids := make([][]string, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				ids[w] = append(ids[w], obs.NewRequestID())
+			}
+		}(w)
+	}
+	wg.Wait()
+	seen := make(map[string]bool, workers*perWorker)
+	for _, batch := range ids {
+		for _, id := range batch {
+			if seen[id] {
+				t.Fatalf("request id %s issued twice", id)
+			}
+			seen[id] = true
+		}
+	}
 }

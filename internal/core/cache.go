@@ -8,6 +8,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"gridauth/internal/obs"
 )
 
 // CacheKey is the canonical digest a decision is cached under: a
@@ -289,6 +291,9 @@ type CachedPDP struct {
 	// Scope is mixed into every key; use the callout type so distinct
 	// callout chains sharing a cache cannot collide.
 	Scope string
+	// Metrics, when set, receives cache hit/miss counts (the
+	// DecisionCache keeps its own per-cache stats regardless).
+	Metrics *obs.Metrics
 }
 
 var _ ContextPDP = (*CachedPDP)(nil)
@@ -311,7 +316,23 @@ func (p *CachedPDP) Authorize(req *Request) Decision {
 func (p *CachedPDP) AuthorizeContext(ctx context.Context, req *Request) Decision {
 	key := DecisionCacheKey(p.Scope, req)
 	if d, ok := p.Cache.Get(key); ok {
+		if p.Metrics != nil {
+			p.Metrics.CacheHits.Inc()
+		}
+		// On a hit no PDP runs, so the whole decision path is one
+		// cache-hit span naming the wrapper.
+		if tr := obs.TraceFrom(ctx); tr != nil {
+			tr.Record(obs.Span{
+				PDP:      p.Name(),
+				Effect:   d.Effect.String(),
+				Source:   d.Source,
+				CacheHit: true,
+			})
+		}
 		return d
+	}
+	if p.Metrics != nil {
+		p.Metrics.CacheMisses.Inc()
 	}
 	epoch := p.Cache.Epoch()
 	d := AuthorizeWithContext(ctx, p.Inner, req)

@@ -10,6 +10,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"gridauth/internal/obs"
 )
 
 // Well-known abstract callout types, mirroring the callout points the
@@ -125,6 +127,7 @@ type Registry struct {
 	chains   map[string]PDP
 	mode     CombineMode
 	wrapper  PDPWrapper
+	metrics  *obs.Metrics
 }
 
 // NewRegistry returns a registry combining each callout type's PDPs with
@@ -162,6 +165,26 @@ func (r *Registry) SetPDPWrapper(w PDPWrapper) {
 	for t := range r.callouts {
 		r.rebuildLocked(t)
 	}
+}
+
+// SetMetrics installs (or, with nil, removes) the metric set dispatch
+// reports into: decision counts by effect and end-to-end callout
+// latency at InvokeContext, cache hits/misses at each CachedPDP. All
+// chains are rebuilt so existing cache wrappers pick the metrics up.
+func (r *Registry) SetMetrics(m *obs.Metrics) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.metrics = m
+	for t := range r.callouts {
+		r.rebuildLocked(t)
+	}
+}
+
+// Metrics returns the installed metric set, or nil.
+func (r *Registry) Metrics() *obs.Metrics {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.metrics
 }
 
 // RegisterDriver installs a driver under a name, replacing any previous
@@ -285,11 +308,19 @@ func (r *Registry) rebuildLocked(calloutType string) {
 		}
 		pdps = wrapped
 	}
+	// Every member gets the tracing decorator, outside any resilience
+	// wrapper, so a span covers the whole evaluation including retries
+	// and breaker sheds. Without a trace on the request context the
+	// decorator is a single context lookup.
+	members := make([]PDP, len(pdps))
+	for i, p := range pdps {
+		members[i] = traced(p)
+	}
 	var chain PDP
 	if o.Parallel {
-		chain = NewParallelCombined(r.mode, pdps...)
+		chain = NewParallelCombined(r.mode, members...)
 	} else {
-		chain = NewCombined(r.mode, pdps...)
+		chain = NewCombined(r.mode, members...)
 	}
 	if o.Cache {
 		cache := r.caches[calloutType]
@@ -299,7 +330,7 @@ func (r *Registry) rebuildLocked(calloutType string) {
 		} else {
 			cache.Invalidate()
 		}
-		chain = &CachedPDP{Inner: chain, Cache: cache, Scope: calloutType}
+		chain = &CachedPDP{Inner: chain, Cache: cache, Scope: calloutType, Metrics: r.metrics}
 	}
 	r.chains[calloutType] = chain
 }
@@ -476,11 +507,35 @@ func (r *Registry) Invoke(calloutType string, req *Request) Decision {
 func (r *Registry) InvokeContext(ctx context.Context, calloutType string, req *Request) Decision {
 	r.mu.RLock()
 	chain := r.chains[calloutType]
+	m := r.metrics
 	r.mu.RUnlock()
 	if chain == nil {
-		return ErrorDecision("callout:"+calloutType, "no authorization callout configured")
+		d := ErrorDecision("callout:"+calloutType, "no authorization callout configured")
+		if m != nil {
+			m.DecisionsError.Inc()
+		}
+		return d
 	}
-	return AuthorizeWithContext(ctx, chain, req)
+	if m == nil {
+		return AuthorizeWithContext(ctx, chain, req)
+	}
+	start := time.Now()
+	d := AuthorizeWithContext(ctx, chain, req)
+	m.DecisionSeconds.Observe(time.Since(start))
+	switch d.Effect {
+	case Permit:
+		m.DecisionsPermit.Inc()
+	case Deny:
+		m.DecisionsDeny.Inc()
+	case Error:
+		m.DecisionsError.Inc()
+	case NotApplicable:
+		m.DecisionsNotApplicable.Inc()
+	default:
+		// Unknown effects count as authorization system failures.
+		m.DecisionsError.Inc()
+	}
+	return d
 }
 
 // PDP returns the combined PDP bound to a callout type, for callers that

@@ -17,6 +17,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -199,7 +200,10 @@ func NewCombined(mode CombineMode, pdps ...PDP) *Combined {
 	return &Combined{mode: mode, pdps: append([]PDP(nil), pdps...)}
 }
 
-var _ PDP = (*Combined)(nil)
+var (
+	_ PDP        = (*Combined)(nil)
+	_ ContextPDP = (*Combined)(nil)
+)
 
 // Name implements PDP.
 func (c *Combined) Name() string {
@@ -214,6 +218,17 @@ func (c *Combined) Name() string {
 func (c *Combined) Authorize(req *Request) Decision {
 	return combineDecisions(c.mode, c.Name, len(c.pdps), func(i int) Decision {
 		return c.pdps[i].Authorize(req)
+	})
+}
+
+// AuthorizeContext implements ContextPDP: the caller's context reaches
+// every context-aware child (strictly in configuration order, as
+// Authorize would evaluate them), so cancellation — and request-scoped
+// values like a decision trace — propagate through sequential chains
+// exactly as they do through parallel ones.
+func (c *Combined) AuthorizeContext(ctx context.Context, req *Request) Decision {
+	return combineDecisions(c.mode, c.Name, len(c.pdps), func(i int) Decision {
+		return AuthorizeWithContext(ctx, c.pdps[i], req)
 	})
 }
 

@@ -3,6 +3,8 @@ package core
 import (
 	"context"
 	"strings"
+
+	"gridauth/internal/obs"
 )
 
 // ContextPDP is a PDP that can observe cancellation. The parallel
@@ -129,6 +131,9 @@ func (c *ParallelCombined) AuthorizeContext(ctx context.Context, req *Request) D
 		return combineDecisions(c.mode, c.Name, 1, func(int) Decision {
 			return AuthorizeWithContext(ctx, c.pdps[0], req)
 		})
+	}
+	if tr := obs.TraceFrom(ctx); tr != nil {
+		tr.SetParallel()
 	}
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()

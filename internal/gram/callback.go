@@ -191,7 +191,7 @@ func (g *Gatekeeper) authorizeManage(ctx context.Context, peer *Peer, jmi *JMI, 
 			Spec:       jmi.Spec,
 		}
 		d := g.cfg.Registry.InvokeContext(ctx, core.CalloutGatekeeper, req)
-		auditDecision(g.cfg.Audit, core.CalloutGatekeeper, req, d)
+		auditDecision(ctx, g.cfg.Audit, core.CalloutGatekeeper, req, d)
 		return decisionToProto(d)
 	}
 	return jmi.authorize(ctx, peer, action)

@@ -11,6 +11,7 @@ import (
 	"gridauth/internal/core"
 	"gridauth/internal/gsi"
 	"gridauth/internal/jobcontrol"
+	"gridauth/internal/obs"
 	"gridauth/internal/policy"
 	"gridauth/internal/rsl"
 )
@@ -213,7 +214,7 @@ func (j *JMI) authorize(ctx context.Context, peer *Peer, action string) *ProtoEr
 			Spec:       j.Spec,
 		}
 		d := j.registry.InvokeContext(ctx, core.CalloutJobManager, req)
-		auditDecision(j.auditLog, core.CalloutJobManager, req, d)
+		auditDecision(ctx, j.auditLog, core.CalloutJobManager, req, d)
 		return decisionToProtoManagement(d)
 	default:
 		return &ProtoError{Code: CodeInternal, Message: "unknown authorization mode"}
@@ -335,19 +336,31 @@ func lrmError(err error) *ProtoError {
 // Both enforcement points — the Gatekeeper and each JMI — funnel
 // through here so the trail always names who asked, for what job, and
 // which policy source decided (§4.3's "security, audit, accounting").
-func auditDecision(log *audit.Log, calloutType string, req *core.Request, d core.Decision) {
+//
+// When the request is traced, the trace is finalized here — the summary
+// the PEP acted on, independent of whether a log is configured — and
+// the audit record carries the request's correlation ID plus the
+// per-PDP spans, so a log entry alone explains the full decision path.
+func auditDecision(ctx context.Context, log *audit.Log, calloutType string, req *core.Request, d core.Decision) {
+	var spans []obs.Span
+	if tr := obs.TraceFrom(ctx); tr != nil {
+		tr.Finish(calloutType, req.Action, d.Effect.String(), d.Source, d.Reason)
+		spans = tr.Spans()
+	}
 	if log == nil {
 		return
 	}
 	log.Append(audit.Record{
-		Subject:  req.Subject,
-		Action:   req.Action,
-		JobID:    req.JobID,
-		JobOwner: req.JobOwner,
-		PDP:      calloutType,
-		Effect:   d.Effect.String(),
-		Source:   d.Source,
-		Reason:   d.Reason,
+		RequestID: obs.RequestIDFrom(ctx),
+		Subject:   req.Subject,
+		Action:    req.Action,
+		JobID:     req.JobID,
+		JobOwner:  req.JobOwner,
+		PDP:       calloutType,
+		Effect:    d.Effect.String(),
+		Source:    d.Source,
+		Reason:    d.Reason,
+		Spans:     spans,
 	})
 }
 

@@ -16,6 +16,7 @@ import (
 	"gridauth/internal/gridmap"
 	"gridauth/internal/gsi"
 	"gridauth/internal/jobcontrol"
+	"gridauth/internal/obs"
 	"gridauth/internal/policy"
 	"gridauth/internal/rsl"
 )
@@ -119,6 +120,15 @@ type Config struct {
 	// disables). Subscription streams are exempt: they are
 	// server-push by design.
 	IdleTimeout time.Duration
+	// Metrics, when set, receives the gatekeeper's operational counters
+	// and gauges (requests, in-flight, connections, worker-queue depth,
+	// handshake outcomes) in addition to whatever the registry itself
+	// reports. Nil disables.
+	Metrics *obs.Metrics
+	// Traces, when set, retains a decision trace for every dispatched
+	// request, retrievable by the RequestID the request's audit records
+	// carry. Nil disables tracing (requests still get a RequestID).
+	Traces *obs.TraceStore
 }
 
 // Gatekeeper is the resource-side GRAM daemon: it authenticates clients,
@@ -178,6 +188,9 @@ func NewGatekeeper(cfg Config) (*Gatekeeper, error) {
 		cfg.IdleTimeout = 5 * time.Minute
 	}
 	opts := []gsi.AuthOption{gsi.WithFeatures(FeatureMux)}
+	if cfg.Metrics != nil {
+		opts = append(opts, gsi.WithMetrics(cfg.Metrics))
+	}
 	for _, c := range cfg.VOCerts {
 		opts = append(opts, gsi.WithVOCert(c))
 	}
@@ -291,6 +304,10 @@ func (g *Gatekeeper) handleConn(conn net.Conn) {
 		return
 	}
 	_ = conn.SetDeadline(time.Time{})
+	if m := g.cfg.Metrics; m != nil {
+		m.ConnsActive.Inc()
+		defer m.ConnsActive.Dec()
+	}
 
 	// A version-2 peer gets a bounded worker pool so many requests on
 	// the one connection are served concurrently; a version-1 peer gets
@@ -360,7 +377,16 @@ func (g *Gatekeeper) handleConn(conn net.Conn) {
 			}
 			continue
 		}
-		workers <- struct{}{} // backpressure: block reads at the pool bound
+		if m := g.cfg.Metrics; m != nil {
+			// Queue-depth gauge: how many reads are blocked waiting for a
+			// free worker. Sampled by /metrics; nonzero sustained values
+			// mean ConnWorkers is the bottleneck.
+			m.QueueWaiting.Inc()
+			workers <- struct{}{} // backpressure: block reads at the pool bound
+			m.QueueWaiting.Dec()
+		} else {
+			workers <- struct{}{} // backpressure: block reads at the pool bound
+		}
 		inflight.Add(1)
 		go func(msg *Message) {
 			defer inflight.Done()
@@ -376,9 +402,28 @@ func (g *Gatekeeper) handleConn(conn net.Conn) {
 // reply (never nil). Each message gets its own context rooted in the
 // daemon's, so policy evaluation for one request is cancellable
 // independently and everything stops when the gatekeeper closes.
+//
+// Every request is assigned a RequestID here — the single generation
+// point, so all audit records of one request carry the same ID and IDs
+// never interleave across concurrent requests. When tracing is enabled
+// a Trace rides the same context; it is published to the store when the
+// request finishes, whatever the outcome (even requests refused before
+// any callout ran appear, with zero spans and no summary).
 func (g *Gatekeeper) dispatch(peer *Peer, msg *Message) *Message {
 	reqCtx, cancelReq := context.WithCancel(g.baseCtx)
 	defer cancelReq()
+	rid := obs.NewRequestID()
+	reqCtx = obs.WithRequestID(reqCtx, rid)
+	if g.cfg.Traces != nil {
+		tr := obs.NewTrace(rid, string(peer.Identity))
+		reqCtx = obs.WithTrace(reqCtx, tr)
+		defer g.cfg.Traces.Publish(tr)
+	}
+	if m := g.cfg.Metrics; m != nil {
+		m.Requests.Inc()
+		m.RequestsInflight.Inc()
+		defer m.RequestsInflight.Dec()
+	}
 	switch msg.Type {
 	case MsgJobRequest:
 		return g.handleJobRequest(reqCtx, peer, msg)
@@ -468,7 +513,7 @@ func (g *Gatekeeper) handleJobRequest(ctx context.Context, peer *Peer, msg *Mess
 			calloutType = core.CalloutGatekeeper
 		}
 		d := g.cfg.Registry.InvokeContext(ctx, calloutType, req)
-		auditDecision(g.cfg.Audit, calloutType, req, d)
+		auditDecision(ctx, g.cfg.Audit, calloutType, req, d)
 		if perr := decisionToProto(d); perr != nil {
 			return fail(perr)
 		}
@@ -573,7 +618,7 @@ func (g *Gatekeeper) handleManage(ctx context.Context, peer *Peer, msg *Message)
 			Spec:       jmi.Spec,
 		}
 		d := g.cfg.Registry.InvokeContext(ctx, core.CalloutGatekeeper, req)
-		auditDecision(g.cfg.Audit, core.CalloutGatekeeper, req, d)
+		auditDecision(ctx, g.cfg.Audit, core.CalloutGatekeeper, req, d)
 		if perr := decisionToProtoManagement(d); perr != nil {
 			return manageError(perr)
 		}

@@ -29,6 +29,7 @@ import (
 	"gridauth/internal/audit"
 	"gridauth/internal/core"
 	"gridauth/internal/gsi"
+	"gridauth/internal/obs"
 	"gridauth/internal/rsl"
 )
 
@@ -256,12 +257,13 @@ func (s *Server) serve(peer *gsi.Peer, req *request) *response {
 	d := s.registry.Invoke(CalloutGridFTP, creq)
 	if s.audit != nil {
 		s.audit.Append(audit.Record{
-			Subject: creq.Subject,
-			Action:  creq.Action,
-			PDP:     CalloutGridFTP,
-			Effect:  d.Effect.String(),
-			Source:  d.Source,
-			Reason:  d.Reason,
+			RequestID: obs.NewRequestID(),
+			Subject:   creq.Subject,
+			Action:    creq.Action,
+			PDP:       CalloutGridFTP,
+			Effect:    d.Effect.String(),
+			Source:    d.Source,
+			Reason:    d.Reason,
 		})
 	}
 	if d.Effect != core.Permit {

@@ -10,6 +10,8 @@ import (
 	"fmt"
 	"io"
 	"time"
+
+	"gridauth/internal/obs"
 )
 
 // Handshake errors.
@@ -110,6 +112,7 @@ type Authenticator struct {
 	features []string
 	issuer   *TicketIssuer
 	sessions *SessionCache
+	metrics  *obs.Metrics
 }
 
 // AuthOption configures an Authenticator.
@@ -151,6 +154,28 @@ func WithSessionCache(sc *SessionCache) AuthOption {
 	return func(a *Authenticator) { a.sessions = sc }
 }
 
+// WithMetrics counts every handshake this authenticator completes —
+// full, resumed or failed — into m.
+func WithMetrics(m *obs.Metrics) AuthOption {
+	return func(a *Authenticator) { a.metrics = m }
+}
+
+// countHandshake classifies one handshake outcome into the metric set
+// (no-op without WithMetrics).
+func (a *Authenticator) countHandshake(peer *Peer, err error) {
+	if a.metrics == nil {
+		return
+	}
+	switch {
+	case err != nil:
+		a.metrics.HandshakesFailed.Inc()
+	case peer.Resumed:
+		a.metrics.HandshakesResumed.Inc()
+	default:
+		a.metrics.HandshakesFull.Inc()
+	}
+}
+
 // NewAuthenticator builds an authenticator for the local credential,
 // trusting chains that verify against trust.
 func NewAuthenticator(cred *Credential, trust *TrustStore, opts ...AuthOption) *Authenticator {
@@ -179,6 +204,12 @@ func NewAuthenticator(cred *Credential, trust *TrustStore, opts ...AuthOption) *
 // The forms interoperate: a symmetric caller against HandshakeAccept
 // (or vice versa) completes a full handshake.
 func (a *Authenticator) Handshake(rw io.ReadWriter) (*Peer, *bufio.Reader, error) {
+	peer, br, err := a.handshakeSymmetric(rw)
+	a.countHandshake(peer, err)
+	return peer, br, err
+}
+
+func (a *Authenticator) handshakeSymmetric(rw io.ReadWriter) (*Peer, *bufio.Reader, error) {
 	br := bufio.NewReader(rw)
 	nonce, err := newNonce()
 	if err != nil {
@@ -221,6 +252,7 @@ func (a *Authenticator) Handshake(rw io.ReadWriter) (*Peer, *bufio.Reader, error
 func (a *Authenticator) HandshakeAccept(rw io.ReadWriter) (*Peer, *bufio.Reader, error) {
 	br := bufio.NewReader(rw)
 	peer, err := a.handshakeAccept(rw, br)
+	a.countHandshake(peer, err)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -371,6 +403,12 @@ func (a *Authenticator) acceptResume(rw io.ReadWriter, br *bufio.Reader, clientH
 // ErrResumeFailed after invalidating the cached session, so the caller
 // can redial and get a full handshake.
 func (a *Authenticator) HandshakeClient(rw io.ReadWriter, target string) (*Peer, *bufio.Reader, error) {
+	peer, br, err := a.handshakeClient(rw, target)
+	a.countHandshake(peer, err)
+	return peer, br, err
+}
+
+func (a *Authenticator) handshakeClient(rw io.ReadWriter, target string) (*Peer, *bufio.Reader, error) {
 	br := bufio.NewReader(rw)
 	if a.sessions != nil {
 		s := a.sessions.lookup(target, credentialDigest(a.cred), assertionsDigest(a.asserts), a.now())

@@ -5,6 +5,8 @@ import (
 	"net"
 	"testing"
 	"time"
+
+	"gridauth/internal/obs"
 )
 
 // sessionTarget is the cache key used by the client side in these tests
@@ -352,5 +354,51 @@ func TestExpiredProxyRejectedAtHandshake(t *testing.T) {
 	}
 	if cerr == nil {
 		t.Error("client side reported success against a rejecting acceptor")
+	}
+}
+
+func TestHandshakeMetricsCounters(t *testing.T) {
+	cm := obs.NewMetrics()
+	sm := obs.NewMetrics()
+	e := newSessionEnv(t, 0,
+		[]AuthOption{WithMetrics(cm)},
+		[]AuthOption{WithMetrics(sm)})
+
+	// Full handshake then a resumed one: one full + one resumed on each
+	// side, zero failures.
+	if _, _, cerr, serr := runClientAccept(t, e.client, e.server); cerr != nil || serr != nil {
+		t.Fatalf("full handshake: client=%v server=%v", cerr, serr)
+	}
+	if _, _, cerr, serr := runClientAccept(t, e.client, e.server); cerr != nil || serr != nil {
+		t.Fatalf("resumed handshake: client=%v server=%v", cerr, serr)
+	}
+	for side, m := range map[string]*obs.Metrics{"client": cm, "server": sm} {
+		if got := m.HandshakesFull.Load(); got != 1 {
+			t.Errorf("%s full handshakes = %d, want 1", side, got)
+		}
+		if got := m.HandshakesResumed.Load(); got != 1 {
+			t.Errorf("%s resumed handshakes = %d, want 1", side, got)
+		}
+		if got := m.HandshakesFailed.Load(); got != 0 {
+			t.Errorf("%s failed handshakes = %d, want 0", side, got)
+		}
+	}
+
+	// A client from an untrusted CA is rejected: the server counts one
+	// failure and no additional successes.
+	strangerCA := newTestCA(t)
+	stranger, err := strangerCA.Issue(kateDN, KindUser)
+	if err != nil {
+		t.Fatal(err)
+	}
+	badClient := NewAuthenticator(stranger, NewTrustStore(strangerCA.Certificate(), e.ca.Certificate()))
+	if _, _, _, serr := runClientAccept(t, badClient, e.server); serr == nil {
+		t.Fatal("acceptor accepted an untrusted credential")
+	}
+	if got := sm.HandshakesFailed.Load(); got != 1 {
+		t.Errorf("server failed handshakes = %d, want 1", got)
+	}
+	if full, res := sm.HandshakesFull.Load(), sm.HandshakesResumed.Load(); full != 1 || res != 1 {
+		t.Errorf("server success counters moved on failure: full=%d resumed=%d", full, res)
 	}
 }

@@ -20,6 +20,7 @@ import (
 
 	"gridauth/internal/audit"
 	"gridauth/internal/core"
+	"gridauth/internal/obs"
 )
 
 // ErrNotRegistered is returned when refreshing or deregistering an
@@ -192,12 +193,13 @@ func QueryPDP(reg *core.Registry, d *Directory, log *audit.Log) func(req *core.R
 		decision := reg.Invoke(CalloutMDS, req)
 		if log != nil {
 			log.Append(audit.Record{
-				Subject: req.Subject,
-				Action:  req.Action,
-				PDP:     CalloutMDS,
-				Effect:  decision.Effect.String(),
-				Source:  decision.Source,
-				Reason:  decision.Reason,
+				RequestID: obs.NewRequestID(),
+				Subject:   req.Subject,
+				Action:    req.Action,
+				PDP:       CalloutMDS,
+				Effect:    decision.Effect.String(),
+				Source:    decision.Source,
+				Reason:    decision.Reason,
 			})
 		}
 		if decision.Effect != core.Permit {

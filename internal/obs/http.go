@@ -1,0 +1,61 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// NewServeMux returns the observability HTTP mux the gatekeeper serves
+// on -metrics-addr:
+//
+//	GET /metrics      — the metric set in stable-ordered text form
+//	GET /trace?id=R   — one finished trace as JSON (404 when unknown)
+//	GET /traces       — retained request IDs as a JSON array
+//
+// Either argument may be nil; the corresponding endpoints then answer
+// 404. Callers wanting pprof add net/http/pprof's handlers onto the
+// returned mux themselves (see cmd/gatekeeper's -pprof flag) so the
+// profiling surface is opt-in.
+func NewServeMux(m *Metrics, s *TraceStore) *http.ServeMux {
+	mux := http.NewServeMux()
+	if m != nil {
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+			if r.Method != http.MethodGet {
+				http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+				return
+			}
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			// Write errors mean the client went away; nothing to do.
+			_, _ = m.WriteTo(w)
+		})
+	}
+	if s != nil {
+		mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
+			if r.Method != http.MethodGet {
+				http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+				return
+			}
+			id := r.URL.Query().Get("id")
+			if id == "" {
+				http.Error(w, "missing id parameter", http.StatusBadRequest)
+				return
+			}
+			rec, ok := s.Get(id)
+			if !ok {
+				http.Error(w, "unknown request id", http.StatusNotFound)
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+			_ = json.NewEncoder(w).Encode(rec)
+		})
+		mux.HandleFunc("/traces", func(w http.ResponseWriter, r *http.Request) {
+			if r.Method != http.MethodGet {
+				http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+			_ = json.NewEncoder(w).Encode(s.RequestIDs())
+		})
+	}
+	return mux
+}

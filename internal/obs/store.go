@@ -1,0 +1,78 @@
+package obs
+
+import "sync"
+
+// TraceStore retains the most recent finished traces, retrievable by
+// request ID — the in-memory analogue of the audit.Log ring, but
+// holding full decision paths. Old traces are evicted once the
+// capacity is exceeded.
+type TraceStore struct {
+	mu    sync.Mutex
+	byID  map[string]TraceRecord
+	order []string // request IDs, oldest first (ring)
+	start int
+	count int
+}
+
+// NewTraceStore creates a store holding up to capacity traces.
+func NewTraceStore(capacity int) *TraceStore {
+	if capacity <= 0 {
+		capacity = 1024
+	}
+	return &TraceStore{
+		byID:  make(map[string]TraceRecord, capacity),
+		order: make([]string, capacity),
+	}
+}
+
+// Publish snapshots a finished trace into the store. Publish after the
+// request completes; the snapshot is immutable thereafter.
+func (s *TraceStore) Publish(t *Trace) {
+	if s == nil || t == nil {
+		return
+	}
+	rec := t.Snapshot()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, exists := s.byID[rec.RequestID]; exists {
+		// Same request republished (should not happen — dispatch publishes
+		// once): keep the newest snapshot, ring position unchanged.
+		s.byID[rec.RequestID] = rec
+		return
+	}
+	idx := (s.start + s.count) % len(s.order)
+	if s.count == len(s.order) {
+		delete(s.byID, s.order[s.start])
+		s.start = (s.start + 1) % len(s.order)
+	} else {
+		s.count++
+	}
+	s.order[idx] = rec.RequestID
+	s.byID[rec.RequestID] = rec
+}
+
+// Get returns the trace published under a request ID.
+func (s *TraceStore) Get(requestID string) (TraceRecord, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec, ok := s.byID[requestID]
+	return rec, ok
+}
+
+// Len reports the number of retained traces.
+func (s *TraceStore) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.count
+}
+
+// RequestIDs returns the retained request IDs, oldest first.
+func (s *TraceStore) RequestIDs() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, s.count)
+	for i := 0; i < s.count; i++ {
+		out = append(out, s.order[(s.start+i)%len(s.order)])
+	}
+	return out
+}

@@ -7,6 +7,7 @@ import (
 
 	"gridauth/internal/audit"
 	"gridauth/internal/core"
+	"gridauth/internal/obs"
 )
 
 // Options selects which protections Wrap applies. The zero value
@@ -26,8 +27,14 @@ type Options struct {
 	Breaker *BreakerConfig
 	// Audit, when non-nil, records breaker state transitions as
 	// audit records (PDP = wrapped PDP's name, Action =
-	// "circuit-breaker").
+	// "circuit-breaker"). Transitions are system events, not requests,
+	// so these records carry no RequestID.
 	Audit *audit.Log
+	// Metrics, when non-nil, counts retries, breaker transitions and
+	// shed calls. Independent of metrics, a traced request's span
+	// (obs.SpanFrom) is always annotated with retry count and breaker
+	// state.
+	Metrics *obs.Metrics
 }
 
 // Resilient wraps a PDP with the protections selected by Options. It
@@ -44,6 +51,7 @@ type Resilient struct {
 	timeout     time.Duration
 	retry       Policy // normalized; Attempts <= 1 means "never retry"
 	breaker     *Breaker
+	metrics     *obs.Metrics
 }
 
 var (
@@ -64,6 +72,7 @@ func Wrap(p core.PDP, o Options) core.PDP {
 		timeout:     o.Timeout,
 		effectful:   core.IsSideEffecting(p),
 		nonBlocking: core.IsNonBlocking(p),
+		metrics:     o.Metrics,
 	}
 	r.ctxInner, _ = p.(core.ContextPDP)
 	if o.Retry.Attempts > 1 {
@@ -71,6 +80,22 @@ func Wrap(p core.PDP, o Options) core.PDP {
 	}
 	if o.Breaker != nil {
 		cfg := *o.Breaker
+		if m := o.Metrics; m != nil {
+			prev := cfg.OnStateChange
+			cfg.OnStateChange = func(from, to BreakerState, reason string) {
+				switch to {
+				case Open:
+					m.BreakerOpened.Inc()
+				case HalfOpen:
+					m.BreakerHalfOpen.Inc()
+				case Closed:
+					m.BreakerClosed.Inc()
+				}
+				if prev != nil {
+					prev(from, to, reason)
+				}
+			}
+		}
 		if log := o.Audit; log != nil {
 			name, prev := p.Name(), cfg.OnStateChange
 			cfg.OnStateChange = func(from, to BreakerState, reason string) {
@@ -111,6 +136,12 @@ func (r *Resilient) Authorize(req *core.Request) core.Decision {
 // bounded attempts, each under the per-callout deadline.
 func (r *Resilient) AuthorizeContext(ctx context.Context, req *core.Request) core.Decision {
 	if r.breaker != nil && !r.breaker.Allow() {
+		if r.metrics != nil {
+			r.metrics.BreakerShed.Inc()
+		}
+		if sp := obs.SpanFrom(ctx); sp != nil {
+			sp.Breaker = Open.String()
+		}
 		return core.ErrorDecision(r.Name(),
 			fmt.Sprintf("circuit open: %s is shedding calls while %s recovers", r.Name(), r.inner.Name()))
 	}
@@ -120,11 +151,21 @@ func (r *Resilient) AuthorizeContext(ctx context.Context, req *core.Request) cor
 	// will never use. A side-effecting inner PDP never retries (the
 	// effect of a discarded attempt would have fired anyway).
 	if r.retry.Attempts > 1 && !r.effectful {
+		tries := 0
 		for try := 1; try < r.retry.Attempts && d.Effect == core.Error && ctx.Err() == nil; try++ {
 			if r.retry.Sleep(ctx, r.retry.Delay(try-1)) != nil {
 				break
 			}
 			d = r.attempt(ctx, req)
+			tries++
+		}
+		if tries > 0 {
+			if r.metrics != nil {
+				r.metrics.AuthzRetries.Add(uint64(tries))
+			}
+			if sp := obs.SpanFrom(ctx); sp != nil {
+				sp.Retries = tries
+			}
 		}
 	}
 	if r.breaker != nil {
@@ -132,6 +173,12 @@ func (r *Resilient) AuthorizeContext(ctx context.Context, req *core.Request) cor
 			r.breaker.Failure(d.Reason)
 		} else {
 			r.breaker.Success()
+		}
+		// The span publishes only after this wrapper returns (same
+		// goroutine, see core's tracing decorator), so the post-decision
+		// state is what trace readers see.
+		if sp := obs.SpanFrom(ctx); sp != nil {
+			sp.Breaker = r.breaker.State().String()
 		}
 	}
 	return d
@@ -189,9 +236,9 @@ func (r *Resilient) attempt(ctx context.Context, req *core.Request) core.Decisio
 // FromCalloutOptions builds the wrapper a callout chain's options ask
 // for (the pdp-timeout / retries / breaker configuration-file knobs and
 // their ResourceConfig equivalents). Breaker transitions are audited to
-// log when it is non-nil.
-func FromCalloutOptions(p core.PDP, o core.CalloutOptions, log *audit.Log) core.PDP {
-	opts := Options{Timeout: o.PDPTimeout, Audit: log}
+// log when it is non-nil and counted into m when it is non-nil.
+func FromCalloutOptions(p core.PDP, o core.CalloutOptions, log *audit.Log, m *obs.Metrics) core.PDP {
+	opts := Options{Timeout: o.PDPTimeout, Audit: log, Metrics: m}
 	if o.Retries > 0 {
 		opts.Retry = Policy{Attempts: o.Retries + 1, BaseDelay: o.RetryBackoff}
 	}
@@ -209,8 +256,8 @@ func FromCalloutOptions(p core.PDP, o core.CalloutOptions, log *audit.Log) core.
 // options to each of its PDPs. Reconfiguring a callout type rebuilds
 // its chain and therefore resets its breakers (a deliberate fresh
 // start: the operator just changed what the chain means).
-func Install(reg *core.Registry, log *audit.Log) {
+func Install(reg *core.Registry, log *audit.Log, m *obs.Metrics) {
 	reg.SetPDPWrapper(func(p core.PDP, o core.CalloutOptions) core.PDP {
-		return FromCalloutOptions(p, o, log)
+		return FromCalloutOptions(p, o, log, m)
 	})
 }

@@ -403,10 +403,10 @@ func TestBreakerShedsAndRecoversThroughWrapper(t *testing.T) {
 
 func TestFromCalloutOptionsMapsKnobs(t *testing.T) {
 	p := &countingPDP{id: "p", script: []core.Effect{core.Permit}}
-	if got := FromCalloutOptions(p, core.CalloutOptions{}, nil); got != core.PDP(p) {
+	if got := FromCalloutOptions(p, core.CalloutOptions{}, nil, nil); got != core.PDP(p) {
 		t.Fatal("zero callout options should not wrap")
 	}
-	w := FromCalloutOptions(p, core.CalloutOptions{PDPTimeout: time.Second, Retries: 2, Breaker: true}, nil)
+	w := FromCalloutOptions(p, core.CalloutOptions{PDPTimeout: time.Second, Retries: 2, Breaker: true}, nil, nil)
 	r, ok := w.(*Resilient)
 	if !ok {
 		t.Fatalf("wrapped type %T", w)
@@ -424,7 +424,7 @@ func TestInstallWrapsRegistryChains(t *testing.T) {
 	backend := &countingPDP{id: "backend", script: []core.Effect{core.Error, core.Permit}}
 	reg.Bind(core.CalloutJobManager, backend)
 	reg.SetCalloutOptions(core.CalloutJobManager, core.CalloutOptions{Retries: 2, RetryBackoff: time.Nanosecond})
-	Install(reg, nil)
+	Install(reg, nil, nil)
 	d := reg.Invoke(core.CalloutJobManager, req())
 	if d.Effect != core.Permit {
 		t.Fatalf("decision = %+v, want retried permit", d)
