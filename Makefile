@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race lint fuzz-smoke bench bench-obs conformance check
+.PHONY: build test race lint fuzz-smoke bench bench-obs bench-audit conformance verify-audit check
 
 build:
 	$(GO) build ./...
@@ -37,5 +37,18 @@ conformance:
 # Machine-readable observability benchmark series (P5/P7/P10).
 bench-obs:
 	$(GO) test -run=NONE -bench 'BenchmarkP5_ParallelPDP|BenchmarkP7_SessionResumption|BenchmarkP10_TraceOverhead' -benchtime=1x -json . | tee BENCH_obs.json
+
+# Machine-readable audit-pipeline series (P11): append throughput,
+# tuning knobs and the full-stack overhead pair (docs/PERFORMANCE.md).
+bench-audit:
+	$(GO) test -run=NONE -bench 'BenchmarkP11_AuditThroughput' -benchtime=1x -json . | tee BENCH_audit.json
+
+# Run the conformance suite with each test writing a real sealed
+# segment log, then prove every log's integrity with cmd/auditverify —
+# the end-to-end tamper-evidence loop (docs/AUDIT.md).
+verify-audit:
+	rm -rf /tmp/gridauth-conformance-audit
+	CONFORMANCE_AUDIT_DIR=/tmp/gridauth-conformance-audit $(GO) test -run 'TestConformance' .
+	$(GO) run ./cmd/auditverify -dir /tmp/gridauth-conformance-audit
 
 check: build test lint

@@ -1,0 +1,143 @@
+// Command auditverify proves the integrity of a tamper-evident audit
+// log written by the internal/audit pipeline (a directory of
+// segment-NNNNNN.jsonl files and their sealed manifests — the
+// gatekeeper's -audit-dir output). It re-derives every hash from the
+// raw bytes: each batch's Merkle root over its record leaf hashes, the
+// hash chain of batch roots from genesis, each segment's root over its
+// batches, and the Ed25519 seal over each manifest. Any flipped byte, removed line, reordered
+// record or forged manifest makes the derivation diverge, and the tool
+// reports where and exits non-zero.
+//
+// Usage:
+//
+//	auditverify -dir /var/log/gridauth-audit            # verify everything
+//	auditverify -dir DIR -seq 1234                      # + inclusion proof for record 1234
+//	auditverify -dir DIR -key <hex ed25519 public key>  # pin the sealing identity
+//
+// When -dir itself holds no segment files, each immediate subdirectory
+// that does is verified independently (the layout the conformance
+// suite emits, one log per test). See docs/AUDIT.md for the format
+// specification and a worked tamper-detection example.
+package main
+
+import (
+	"crypto/ed25519"
+	"encoding/hex"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"gridauth/internal/audit"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("auditverify", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	dir := fs.String("dir", "", "audit segment directory (required)")
+	seq := fs.Int64("seq", -1, "additionally prove inclusion of the record with this sequence number")
+	key := fs.String("key", "", "hex Ed25519 public key every seal must verify against (empty: manifest-embedded keys)")
+	proofJSON := fs.Bool("proof-json", false, "print the inclusion proof as JSON")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *dir == "" {
+		fmt.Fprintln(stderr, "auditverify: -dir is required")
+		return 2
+	}
+	var pin ed25519.PublicKey
+	if *key != "" {
+		raw, err := hex.DecodeString(*key)
+		if err != nil || len(raw) != ed25519.PublicKeySize {
+			fmt.Fprintln(stderr, "auditverify: -key must be a hex Ed25519 public key")
+			return 2
+		}
+		pin = ed25519.PublicKey(raw)
+	}
+
+	dirs, err := logDirs(*dir)
+	if err != nil {
+		fmt.Fprintln(stderr, "auditverify:", err)
+		return 2
+	}
+	if len(dirs) == 0 {
+		fmt.Fprintf(stderr, "auditverify: %s holds no segment files (and no subdirectory does)\n", *dir)
+		return 1
+	}
+	failed := false
+	for _, d := range dirs {
+		rep, err := audit.VerifyDir(d, pin)
+		if err != nil {
+			fmt.Fprintf(stdout, "FAIL %s: %v\n", d, err)
+			failed = true
+			continue
+		}
+		sealed := 0
+		for _, s := range rep.Segments {
+			if s.Sealed {
+				sealed++
+			}
+		}
+		fmt.Fprintf(stdout, "ok   %s: %d sealed segment(s), %d record(s)", d, sealed, rep.Records)
+		if rep.Open > 0 {
+			fmt.Fprintf(stdout, " (+%d in an open unsealed segment)", rep.Open)
+		}
+		fmt.Fprintln(stdout)
+	}
+	if *seq >= 0 {
+		// Inclusion is proven against the single log named by -dir (or
+		// its sole segment-holding subdirectory).
+		if len(dirs) != 1 {
+			fmt.Fprintln(stderr, "auditverify: -seq needs exactly one log directory")
+			return 2
+		}
+		proof, err := audit.ProveInclusion(dirs[0], uint64(*seq), pin)
+		if err != nil {
+			fmt.Fprintf(stdout, "FAIL inclusion seq=%d: %v\n", *seq, err)
+			failed = true
+		} else if *proofJSON {
+			enc := json.NewEncoder(stdout)
+			enc.SetIndent("", "  ")
+			_ = enc.Encode(proof)
+		} else {
+			fmt.Fprintf(stdout, "ok   inclusion seq=%d: segment %d, %d+%d proof step(s) to sealed root %s\n",
+				proof.Seq, proof.Segment, len(proof.LeafSteps), len(proof.BatchSteps), proof.Root)
+		}
+	}
+	if failed {
+		return 1
+	}
+	return 0
+}
+
+// logDirs resolves the directories to verify: dir itself when it holds
+// segment files, otherwise each immediate subdirectory that does.
+func logDirs(dir string) ([]string, error) {
+	if hasSegments(dir) {
+		return []string{dir}, nil
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, e := range entries {
+		if e.IsDir() && hasSegments(filepath.Join(dir, e.Name())) {
+			out = append(out, filepath.Join(dir, e.Name()))
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+func hasSegments(dir string) bool {
+	matches, err := filepath.Glob(filepath.Join(dir, "segment-*.jsonl"))
+	return err == nil && len(matches) > 0
+}

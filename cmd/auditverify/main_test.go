@@ -1,0 +1,125 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"gridauth/internal/audit"
+)
+
+// writeLog seals a fresh pipeline log of n records into dir.
+func writeLog(t *testing.T, dir string, n int) {
+	t.Helper()
+	sink, err := audit.NewDirSink(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	log, err := audit.NewPipeline(audit.Config{
+		Sink:           sink,
+		Batch:          4,
+		SegmentRecords: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		log.Append(audit.Record{
+			Subject: "/O=Grid/CN=Kate",
+			Action:  fmt.Sprintf("start-%d", i),
+			PDP:     "p",
+			Effect:  "permit",
+		})
+	}
+	if err := log.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunVerifiesIntactLog(t *testing.T) {
+	dir := t.TempDir()
+	writeLog(t, dir, 25)
+	var out, errb bytes.Buffer
+	if code := run([]string{"-dir", dir}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d on an intact log\nstdout: %s\nstderr: %s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "ok   ") || !strings.Contains(out.String(), "25 record(s)") {
+		t.Fatalf("unexpected report: %s", out.String())
+	}
+}
+
+func TestRunFailsOnTamperedLog(t *testing.T) {
+	dir := t.TempDir()
+	writeLog(t, dir, 25)
+	path := filepath.Join(dir, "segment-000000.jsonl")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tampered := bytes.Replace(data, []byte("CN=Kate"), []byte("CN=Kurt"), 1)
+	if bytes.Equal(tampered, data) {
+		t.Fatal("subject not found in segment")
+	}
+	if err := os.WriteFile(path, tampered, 0o600); err != nil {
+		t.Fatal(err)
+	}
+	var out, errb bytes.Buffer
+	if code := run([]string{"-dir", dir}, &out, &errb); code != 1 {
+		t.Fatalf("exit %d on a tampered log, want 1\nstdout: %s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "FAIL") {
+		t.Fatalf("no FAIL line: %s", out.String())
+	}
+}
+
+func TestRunProvesInclusion(t *testing.T) {
+	dir := t.TempDir()
+	writeLog(t, dir, 25)
+	var out, errb bytes.Buffer
+	if code := run([]string{"-dir", dir, "-seq", "7"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d proving seq 7\nstdout: %s\nstderr: %s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "ok   inclusion seq=7") {
+		t.Fatalf("no inclusion line: %s", out.String())
+	}
+	out.Reset()
+	if code := run([]string{"-dir", dir, "-seq", "7", "-proof-json"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d with -proof-json", code)
+	}
+	if !strings.Contains(out.String(), "\"leafSteps\"") {
+		t.Fatalf("no JSON proof emitted: %s", out.String())
+	}
+}
+
+func TestRunRecursesIntoSubdirectoryLogs(t *testing.T) {
+	parent := t.TempDir()
+	writeLog(t, filepath.Join(parent, "TestA"), 12)
+	writeLog(t, filepath.Join(parent, "TestB"), 15)
+	var out, errb bytes.Buffer
+	if code := run([]string{"-dir", parent}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d over the per-test layout\nstdout: %s\nstderr: %s", code, out.String(), errb.String())
+	}
+	if n := strings.Count(out.String(), "ok   "); n != 2 {
+		t.Fatalf("verified %d log(s), want 2: %s", n, out.String())
+	}
+	// Inclusion needs exactly one log to address.
+	if code := run([]string{"-dir", parent, "-seq", "1"}, &out, &errb); code != 2 {
+		t.Fatalf("exit %d for -seq over two logs, want 2", code)
+	}
+}
+
+func TestRunUsageErrors(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run(nil, &out, &errb); code != 2 {
+		t.Fatalf("exit %d without -dir, want 2", code)
+	}
+	if code := run([]string{"-dir", t.TempDir()}, &out, &errb); code != 1 {
+		t.Fatalf("exit %d on an empty directory, want 1", code)
+	}
+	if code := run([]string{"-dir", t.TempDir(), "-key", "zz"}, &out, &errb); code != 2 {
+		t.Fatalf("exit %d with a malformed -key, want 2", code)
+	}
+}

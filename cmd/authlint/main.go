@@ -28,6 +28,7 @@ import (
 
 	"gridauth/internal/analysis"
 	"gridauth/internal/analysis/authlint"
+	"gridauth/internal/audit"
 	"gridauth/internal/doclint"
 	"gridauth/internal/obs"
 )
@@ -42,6 +43,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	list := fs.Bool("list", false, "print the analyzers and exit")
 	docs := fs.Bool("docs", true, "also cross-check documentation references (doclint)")
 	metricsOnly := fs.Bool("metrics-only", false, "only check docs/OBSERVABILITY.md against the metric catalog and exit")
+	auditOnly := fs.Bool("audit-only", false, "only check docs/AUDIT.md against the audit metric rows and gatekeeper audit flags and exit")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -51,16 +53,29 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		fmt.Fprintf(stdout, "%-15s %s\n", "doclint", "documentation references (paths, links, symbols) must resolve against the tree")
 		fmt.Fprintf(stdout, "%-15s %s\n", "metricsdoc", "docs/OBSERVABILITY.md's metric table must match obs.Catalog() exactly")
+		fmt.Fprintf(stdout, "%-15s %s\n", "auditdoc", "docs/AUDIT.md's metric rows and flag table must match obs.Catalog() and audit.FlagCatalog()")
 		return 0
 	}
-	if *metricsOnly {
-		n, err := runMetricsDoc(stdout)
-		if err != nil {
-			fmt.Fprintln(stderr, "authlint: metricsdoc:", err)
-			return 2
+	if *metricsOnly || *auditOnly {
+		findings := 0
+		if *metricsOnly {
+			n, err := runMetricsDoc(stdout)
+			if err != nil {
+				fmt.Fprintln(stderr, "authlint: metricsdoc:", err)
+				return 2
+			}
+			findings += n
 		}
-		if n > 0 {
-			fmt.Fprintf(stderr, "authlint: %d finding(s)\n", n)
+		if *auditOnly {
+			n, err := runAuditDoc(stdout)
+			if err != nil {
+				fmt.Fprintln(stderr, "authlint: auditdoc:", err)
+				return 2
+			}
+			findings += n
+		}
+		if findings > 0 {
+			fmt.Fprintf(stderr, "authlint: %d finding(s)\n", findings)
 			return 1
 		}
 		return 0
@@ -100,6 +115,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		n, err = runMetricsDoc(stdout)
 		if err != nil {
 			fmt.Fprintln(stderr, "authlint: metricsdoc:", err)
+			return 2
+		}
+		findings += n
+		n, err = runAuditDoc(stdout)
+		if err != nil {
+			fmt.Fprintln(stderr, "authlint: auditdoc:", err)
 			return 2
 		}
 		findings += n
@@ -176,6 +197,96 @@ func runMetricsDoc(stdout io.Writer) (int, error) {
 	for name := range documented {
 		if !exported[name] {
 			fmt.Fprintf(stdout, "%s:%d: metricsdoc: documented metric %q is not exported by obs.Catalog()\n", rel, tableLine, name)
+			findings++
+		}
+	}
+	return findings, nil
+}
+
+// markedNames extracts the backticked names matching pat between the
+// begin/end HTML-comment markers in text. It returns the names, the
+// 1-based line of the begin marker (for diagnostics), and ok=false when
+// the markers are missing or out of order.
+func markedNames(text, begin, end string, pat *regexp.Regexp) (map[string]bool, int, bool) {
+	b := strings.Index(text, begin)
+	e := strings.Index(text, end)
+	if b < 0 || e < 0 || e < b {
+		return nil, 0, false
+	}
+	names := make(map[string]bool)
+	for _, m := range pat.FindAllStringSubmatch(text[b+len(begin):e], -1) {
+		names[m[1]] = true
+	}
+	return names, 1 + strings.Count(text[:b], "\n"), true
+}
+
+// runAuditDoc cross-checks docs/AUDIT.md against the audit subsystem's
+// two operator surfaces: the audit_-prefixed rows of obs.Catalog() must
+// match the backticked metric names between the auditmetrics
+// begin/end markers, and audit.FlagCatalog() (the gatekeeper's
+// -audit-* flags) must match the backticked flag names between the
+// auditflags markers. Like metricsdoc, the check fails CI from either
+// direction, so adding an audit metric or flag without documenting it
+// — or documenting one that no longer exists — is caught.
+func runAuditDoc(stdout io.Writer) (int, error) {
+	root, err := moduleRoot()
+	if err != nil {
+		return 0, err
+	}
+	docPath := filepath.Join(root, "docs", "AUDIT.md")
+	data, err := os.ReadFile(docPath)
+	if err != nil {
+		return 0, err
+	}
+	text := string(data)
+	rel := filepath.ToSlash(filepath.Join("docs", "AUDIT.md"))
+	findings := 0
+
+	const mBegin, mEnd = "<!-- auditmetrics:begin -->", "<!-- auditmetrics:end -->"
+	documented, line, ok := markedNames(text, mBegin, mEnd,
+		regexp.MustCompile("`(audit_[a-z0-9_]*)`"))
+	if !ok {
+		fmt.Fprintf(stdout, "%s:1: auditdoc: metric table markers %q/%q missing or out of order\n", rel, mBegin, mEnd)
+		findings++
+	} else {
+		exported := make(map[string]bool)
+		for _, d := range obs.Catalog() {
+			if !strings.HasPrefix(d.Name, "audit_") {
+				continue
+			}
+			exported[d.Name] = true
+			if !documented[d.Name] {
+				fmt.Fprintf(stdout, "%s:%d: auditdoc: exported audit metric %q (%s) is not in the documented table\n", rel, line, d.Name, d.Kind)
+				findings++
+			}
+		}
+		for name := range documented {
+			if !exported[name] {
+				fmt.Fprintf(stdout, "%s:%d: auditdoc: documented audit metric %q is not exported by obs.Catalog()\n", rel, line, name)
+				findings++
+			}
+		}
+	}
+
+	const fBegin, fEnd = "<!-- auditflags:begin -->", "<!-- auditflags:end -->"
+	docFlags, line, ok := markedNames(text, fBegin, fEnd,
+		regexp.MustCompile("`-(audit-[a-z-]*)`"))
+	if !ok {
+		fmt.Fprintf(stdout, "%s:1: auditdoc: flag table markers %q/%q missing or out of order\n", rel, fBegin, fEnd)
+		findings++
+		return findings, nil
+	}
+	registered := make(map[string]bool)
+	for _, f := range audit.FlagCatalog() {
+		registered[f.Name] = true
+		if !docFlags[f.Name] {
+			fmt.Fprintf(stdout, "%s:%d: auditdoc: gatekeeper flag %q is not in the documented flag table\n", rel, line, "-"+f.Name)
+			findings++
+		}
+	}
+	for name := range docFlags {
+		if !registered[name] {
+			fmt.Fprintf(stdout, "%s:%d: auditdoc: documented flag %q is not registered by audit.RegisterFlags\n", rel, line, "-"+name)
 			findings++
 		}
 	}

@@ -34,6 +34,7 @@ import (
 	"time"
 
 	"gridauth/internal/accounts"
+	"gridauth/internal/audit"
 	"gridauth/internal/core"
 	"gridauth/internal/gram"
 	"gridauth/internal/gridmap"
@@ -78,6 +79,11 @@ func run(args []string) error {
 	idleTimeout := fs.Duration("idle-timeout", 0, "idle connection timeout (0 = default 5m, negative disables)")
 	metricsAddr := fs.String("metrics-addr", "", "serve GET /metrics, /trace?id= and /traces on this address (empty disables observability)")
 	pprofEnabled := fs.Bool("pprof", false, "expose net/http/pprof handlers on the -metrics-addr server")
+	// The tamper-evident audit pipeline (docs/AUDIT.md): -audit-dir,
+	// -audit-key, sizing and the queue-full degraded mode. Names,
+	// defaults and help live in audit.FlagCatalog so the documented
+	// table cannot drift from this daemon.
+	auditFlags := audit.RegisterFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -98,6 +104,20 @@ func run(args []string) error {
 		metrics = obs.NewMetrics()
 		traces = obs.NewTraceStore(0)
 	}
+
+	// Every decision the daemon acts on is audited through the
+	// asynchronous tamper-evident pipeline; Close on shutdown drains
+	// the queue and seals the final segment so -audit-dir output is
+	// always verifiable by cmd/auditverify.
+	auditLog, err := auditFlags.Build(metrics)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err := auditLog.Close(); err != nil {
+			log.Printf("gatekeeper: audit close: %v", err)
+		}
+	}()
 
 	gmapFile, err := os.Open(*gridmapPath)
 	if err != nil {
@@ -164,8 +184,9 @@ func run(args []string) error {
 		}
 		// The resilience wrapper has to be installed whether the knobs
 		// arrive via flags or via a -callout-config "options" line; it is
-		// inert for callout types whose options request nothing.
-		resilience.Install(reg, nil, metrics)
+		// inert for callout types whose options request nothing. Breaker
+		// transitions land in the audit pipeline.
+		resilience.Install(reg, auditLog, metrics)
 		// Flag-level tuning; a -callout-config "options" line can set the
 		// same knobs per callout type and takes effect above.
 		if *authzParallel || *authzCache || *pdpTimeout > 0 || *authzRetries > 0 || *breaker {
@@ -234,6 +255,7 @@ func run(args []string) error {
 		ConnWorkers:      *connWorkers,
 		HandshakeTimeout: *handshakeTimeout,
 		IdleTimeout:      *idleTimeout,
+		Audit:            auditLog,
 		Metrics:          metrics,
 		Traces:           traces,
 	})

@@ -24,6 +24,8 @@ package gridauth
 // semantics dictate.
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"sync"
 	"testing"
@@ -91,6 +93,34 @@ func newConfEnv(t *testing.T) *confEnv {
 		log:     audit.NewLog(256),
 		metrics: obs.NewMetrics(),
 		traces:  obs.NewTraceStore(256),
+	}
+	// With CONFORMANCE_AUDIT_DIR set (the CI verify-audit job), each
+	// test records into its own tamper-evident pipeline log, which
+	// cmd/auditverify then proves after the suite. Small batch/segment
+	// knobs force group commits and rotations even at test volumes. The
+	// Close cleanup is registered before StartResource's, so the
+	// resource stops appending before the log seals.
+	if root := os.Getenv("CONFORMANCE_AUDIT_DIR"); root != "" {
+		sink, err := audit.NewDirSink(filepath.Join(root, t.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		plog, err := audit.NewPipeline(audit.Config{
+			Sink:           sink,
+			Batch:          4,
+			FlushInterval:  time.Millisecond,
+			SegmentRecords: 16,
+			Metrics:        e.metrics,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		e.log = plog
+		t.Cleanup(func() {
+			if err := plog.Close(); err != nil {
+				t.Errorf("audit pipeline close: %v", err)
+			}
+		})
 	}
 	for dn, credp := range map[string]**gsi.Credential{
 		confDev: &e.dev, confAna: &e.ana, confAdm: &e.adm,

@@ -3,8 +3,20 @@
 // workarounds (§4.3); a fine-grain authorization system restores
 // auditability only if every decision leaves a trail naming who asked,
 // for what, and which policy source decided. This package provides that
-// trail: a bounded in-memory log with JSONL export and a PDP middleware
-// that records every decision flowing through a callout chain.
+// trail twice over:
+//
+//   - a bounded in-memory log with JSONL export and a PDP middleware
+//     that records every decision flowing through a callout chain
+//     (NewLog — the synchronous ring the tests and examples use), and
+//   - an asynchronous, batched, tamper-evident pipeline (NewPipeline)
+//     that group-commits records into a hash-chained, Merkle-batched
+//     segment log whose rotated segments are sealed with an Ed25519
+//     signature, verifiable offline by cmd/auditverify.
+//
+// Both are the same *Log type, so enforcement points (the GRAM
+// dispatcher, GridFTP, MDS, the resilience breaker) do not care which
+// one they were handed. docs/AUDIT.md is the operator document: on-disk
+// format, verification runbook, and the degraded-mode policy matrix.
 package audit
 
 import (
@@ -13,6 +25,7 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"gridauth/internal/core"
@@ -22,21 +35,28 @@ import (
 
 // Record is one audited authorization decision.
 type Record struct {
+	// Seq is the record's position in the tamper-evident sequence,
+	// assigned at group commit by the pipeline (pipeline logs only; a
+	// synchronous ring leaves it zero). It is what auditverify's
+	// inclusion proofs address.
+	Seq  uint64    `json:"seq,omitempty"`
 	Time time.Time `json:"time"`
 	// RequestID correlates every record of one gatekeeper request (and
 	// its retained decision trace, when tracing is on). Generated once
 	// per request at the gatekeeper dispatch point; empty for records
 	// that do not belong to a request (circuit-breaker transitions).
-	RequestID string    `json:"requestId,omitempty"`
-	Subject   gsi.DN    `json:"subject"`
-	Action    string    `json:"action"`
-	JobID     string    `json:"jobId,omitempty"`
-	JobOwner  gsi.DN    `json:"jobOwner,omitempty"`
-	PDP       string    `json:"pdp"`
-	Effect    string    `json:"effect"`
-	Source    string    `json:"source,omitempty"`
-	Reason    string    `json:"reason,omitempty"`
-	// Elapsed is the decision latency.
+	RequestID string `json:"requestId,omitempty"`
+	Subject   gsi.DN `json:"subject"`
+	Action    string `json:"action"`
+	JobID     string `json:"jobId,omitempty"`
+	JobOwner  gsi.DN `json:"jobOwner,omitempty"`
+	PDP       string `json:"pdp"`
+	Effect    string `json:"effect"`
+	Source    string `json:"source,omitempty"`
+	Reason    string `json:"reason,omitempty"`
+	// Elapsed is the decision latency. The JSON name is the unit: the
+	// field marshals as integer nanoseconds (Go's time.Duration
+	// encoding), not as a formatted duration string.
 	Elapsed time.Duration `json:"elapsedNanos"`
 	// Spans is the per-PDP decision path of a traced request (one span
 	// per PDP evaluated, or a single cache-hit span); empty when tracing
@@ -44,39 +64,79 @@ type Record struct {
 	Spans []obs.Span `json:"spans,omitempty"`
 }
 
-// Log is a bounded, concurrency-safe decision log (a ring buffer: old
-// entries are dropped once Capacity is exceeded).
+// Log is a bounded, concurrency-safe decision log. A Log built by
+// NewLog is a synchronous ring buffer (old entries are dropped once
+// Capacity is exceeded); one built by NewPipeline additionally runs the
+// asynchronous tamper-evident writer, with the ring serving as the
+// recent-records window behind the query methods.
+//
+// Clock contract: the time source installed by SetClock stamps
+// Record.Time for every record entering through Append, and it is also
+// the clock Wrap measures decision latency (Record.Elapsed) with — a
+// test that injects a clock can assert both fields deterministically.
+// Pipeline internals (flush scheduling, metrics) keep using the wall
+// clock; SetClock governs record content only.
 type Log struct {
 	mu      sync.Mutex
 	records []Record
 	start   int
 	count   int
 	dropped uint64
-	now     func() time.Time
+	nowFn   atomic.Value // func() time.Time
+	pipe    *pipeline    // nil for a synchronous ring
 }
 
-// NewLog creates a log holding up to capacity records.
+// NewLog creates a synchronous ring log holding up to capacity records.
 func NewLog(capacity int) *Log {
 	if capacity <= 0 {
 		capacity = 1024
 	}
-	return &Log{records: make([]Record, capacity), now: time.Now}
+	l := &Log{records: make([]Record, capacity)}
+	l.nowFn.Store(time.Now)
+	return l
 }
 
-// SetClock overrides the time source (tests).
+// SetClock overrides the time source (tests). See the clock contract
+// on Log: the override stamps Record.Time and drives Wrap's Elapsed
+// measurement. Safe to call concurrently with Append.
 func (l *Log) SetClock(now func() time.Time) {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	l.now = now
+	l.nowFn.Store(now)
 }
 
-// Append stores a record, stamping its time when unset.
+// clockNow reads the current record-stamping clock.
+func (l *Log) clockNow() time.Time {
+	return l.nowFn.Load().(func() time.Time)()
+}
+
+// CanBlock reports whether Append may wait for queue space: true only
+// for a pipeline log in ModeBlock, whose full-queue policy is
+// backpressure. Wrap consults it so an audited PDP never claims
+// core.NonBlockingPDP over a log that can stall the request.
+func (l *Log) CanBlock() bool {
+	return l.pipe != nil && l.pipe.cfg.Mode == ModeBlock
+}
+
+// Append stores a record, stamping its time when unset. On a pipeline
+// log the record is enqueued for the next group commit; with the queue
+// full the configured DegradedMode decides whether Append waits
+// (ModeBlock) or sheds the record and counts it (ModeDrop) — the
+// block-vs-drop trade per enforcement point is tabulated in
+// docs/AUDIT.md.
 func (l *Log) Append(r Record) {
-	l.mu.Lock()
-	defer l.mu.Unlock()
 	if r.Time.IsZero() {
-		r.Time = l.now()
+		r.Time = l.clockNow()
 	}
+	if l.pipe != nil {
+		l.pipe.enqueue(r)
+		return
+	}
+	l.mu.Lock()
+	l.appendRing(r)
+	l.mu.Unlock()
+}
+
+// appendRing inserts into the bounded ring. Callers hold l.mu.
+func (l *Log) appendRing(r Record) {
 	idx := (l.start + l.count) % len(l.records)
 	if l.count == len(l.records) {
 		l.start = (l.start + 1) % len(l.records)
@@ -87,8 +147,44 @@ func (l *Log) Append(r Record) {
 	l.records[idx] = r
 }
 
+// Flush blocks until every record appended before the call has been
+// committed (hashed, chained and handed to the sink). A synchronous
+// ring log has nothing in flight; Flush returns immediately.
+func (l *Log) Flush() {
+	if l.pipe != nil {
+		l.pipe.flush()
+	}
+}
+
+// Close drains and commits everything queued, seals the open segment,
+// and closes the sink. Appends arriving after Close are counted as
+// queue drops. Close is idempotent; it returns the first error the
+// pipeline's sink reported. Closing a synchronous ring log is a no-op.
+func (l *Log) Close() error {
+	if l.pipe == nil {
+		return nil
+	}
+	return l.pipe.close()
+}
+
+// QueueDropped reports how many records the pipeline shed because the
+// bounded queue was full (ModeDrop), or because the record arrived
+// after Close. Always zero for a synchronous ring log. Distinct from
+// Dropped, which counts ring evictions: an evicted record left the
+// recent-records window but — on a pipeline log — was still committed
+// to the sink; a queue-dropped record is gone.
+func (l *Log) QueueDropped() uint64 {
+	if l.pipe == nil {
+		return 0
+	}
+	return l.pipe.queueDropped.Load()
+}
+
 // Len reports the number of retained records.
 func (l *Log) Len() int {
+	if l.pipe != nil {
+		l.pipe.flush()
+	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return l.count
@@ -101,8 +197,14 @@ func (l *Log) Dropped() uint64 {
 	return l.dropped
 }
 
-// Records returns the retained records, oldest first.
+// Records returns the retained records, oldest first. On a pipeline
+// log it flushes first, so every record appended before the call is
+// visible — queries are read-your-writes consistent even though the
+// writer is asynchronous.
 func (l *Log) Records() []Record {
+	if l.pipe != nil {
+		l.pipe.flush()
+	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	out := make([]Record, 0, l.count)
@@ -148,7 +250,10 @@ func (l *Log) WriteJSONL(w io.Writer) error {
 	return nil
 }
 
-// ReadJSONL loads records from a JSONL stream into a new slice.
+// ReadJSONL loads records from a JSONL stream into a new slice. It
+// reads exactly what the pipeline's segment files contain, so a sealed
+// segment round-trips: ReadJSONL(segment-NNNNNN.jsonl) returns the
+// committed records, Seq ascending.
 func ReadJSONL(r io.Reader) ([]Record, error) {
 	dec := json.NewDecoder(r)
 	var out []Record
@@ -166,7 +271,9 @@ func ReadJSONL(r io.Reader) ([]Record, error) {
 // The wrapper is context-aware: the caller's context reaches inner, and
 // a request correlation ID riding on it (obs.WithRequestID) is stamped
 // onto the record. Capability declarations are forwarded so combiners
-// and caches treat the wrapped PDP exactly like the bare one.
+// and caches treat the wrapped PDP exactly like the bare one. Latency
+// (Record.Elapsed) is measured with the log's clock, so a SetClock
+// override governs it (see the clock contract on Log).
 func Wrap(inner core.PDP, log *Log) core.PDP {
 	return &auditedPDP{
 		inner:       inner,
@@ -199,19 +306,25 @@ func (p *auditedPDP) Name() string { return p.name }
 func (p *auditedPDP) SideEffecting() bool { return p.effectful }
 
 // NonBlocking implements core.NonBlockingPDP by forwarding inner's
-// declaration.
-func (p *auditedPDP) NonBlocking() bool { return p.nonBlocking }
+// declaration — unless the attached log itself can block (a pipeline
+// in ModeBlock applies backpressure on a full queue), in which case
+// the wrapper truthfully reports false so deadline wrappers keep
+// their watchdog.
+func (p *auditedPDP) NonBlocking() bool { return p.nonBlocking && !p.log.CanBlock() }
 
 // Authorize implements core.PDP.
+//
+//authlint:ignore pdpcap NonBlocking() consults Log.CanBlock and reports false for any log whose Append can wait (pipeline in ModeBlock); the Cond.Wait reachable here runs only under that declared-blocking configuration
 func (p *auditedPDP) Authorize(req *core.Request) core.Decision {
 	return p.AuthorizeContext(context.Background(), req)
 }
 
 // AuthorizeContext implements core.ContextPDP.
 func (p *auditedPDP) AuthorizeContext(ctx context.Context, req *core.Request) core.Decision {
-	start := time.Now()
+	start := p.log.clockNow()
 	d := core.AuthorizeWithContext(ctx, p.inner, req)
 	p.log.Append(Record{
+		Time:      start,
 		RequestID: obs.RequestIDFrom(ctx),
 		Subject:   req.Subject,
 		Action:    req.Action,
@@ -221,7 +334,7 @@ func (p *auditedPDP) AuthorizeContext(ctx context.Context, req *core.Request) co
 		Effect:    d.Effect.String(),
 		Source:    d.Source,
 		Reason:    d.Reason,
-		Elapsed:   time.Since(start),
+		Elapsed:   p.log.clockNow().Sub(start),
 	})
 	return d
 }

@@ -50,6 +50,38 @@ func TestWrapRecordsDecisions(t *testing.T) {
 	}
 }
 
+// TestWrapNonBlockingTracksLog pins the claim the pdpcap suppression
+// on auditedPDP.Authorize rests on: the wrapper forwards inner's
+// NonBlocking declaration only over a log whose Append cannot wait.
+func TestWrapNonBlockingTracksLog(t *testing.T) {
+	inner := core.SelfOnlyPDP{} // declares NonBlocking
+	if !core.IsNonBlocking(inner) {
+		t.Fatal("fixture PDP must declare NonBlocking")
+	}
+
+	if !core.IsNonBlocking(Wrap(inner, NewLog(16))) {
+		t.Error("ring log cannot block Append; wrapper should stay non-blocking")
+	}
+
+	blockLog, err := NewPipeline(Config{Sink: &MemSink{}, Mode: ModeBlock})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer blockLog.Close()
+	if core.IsNonBlocking(Wrap(inner, blockLog)) {
+		t.Error("ModeBlock pipeline applies backpressure; wrapper must not claim non-blocking")
+	}
+
+	dropLog, err := NewPipeline(Config{Sink: &MemSink{}, Mode: ModeDrop})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dropLog.Close()
+	if !core.IsNonBlocking(Wrap(inner, dropLog)) {
+		t.Error("ModeDrop pipeline sheds instead of waiting; wrapper should stay non-blocking")
+	}
+}
+
 func TestRingEviction(t *testing.T) {
 	log := NewLog(3)
 	pdp := Wrap(permitPDP(), log)

@@ -1,0 +1,119 @@
+// The gatekeeper's audit flag surface, defined here so the daemon's
+// flag registration, the pipeline defaults and the documented flag
+// table (docs/AUDIT.md) share one source of truth — cmd/authlint's
+// auditdoc check diffs the doc against FlagCatalog and fails CI when
+// either side drifts.
+
+package audit
+
+import (
+	"flag"
+	"fmt"
+	"strconv"
+	"time"
+
+	"gridauth/internal/obs"
+)
+
+// FlagDesc describes one gatekeeper audit flag for catalog comparison
+// and documentation rendering. Name carries no leading dash.
+type FlagDesc struct {
+	Name    string
+	Default string
+	Help    string
+}
+
+// FlagCatalog returns the gatekeeper's audit flags, in registration
+// order. docs/AUDIT.md's flag table is checked against this by
+// cmd/authlint.
+func FlagCatalog() []FlagDesc {
+	return []FlagDesc{
+		{"audit-dir", "", "write hash-chained audit segments and sealed manifests into this directory (empty: in-memory sink only)"},
+		{"audit-key", "", "Ed25519 seal key file (hex seed), created if missing (empty: ephemeral per-process key)"},
+		{"audit-capacity", strconv.Itoa(DefaultCapacity), "in-memory ring of recent records behind the query surface"},
+		{"audit-queue", strconv.Itoa(DefaultQueue), "bounded pipeline queue capacity, in records"},
+		{"audit-batch", strconv.Itoa(DefaultBatch), "maximum records per group commit"},
+		{"audit-flush", DefaultFlushInterval.String(), "group-commit flush interval"},
+		{"audit-segment", strconv.Itoa(DefaultSegmentRecords), "records per segment before rotation and sealing"},
+		{"audit-mode", ModeBlock.String(), "queue-full degraded mode: block (backpressure, lossless) or drop (shed and count)"},
+	}
+}
+
+// Flags holds the parsed values of the catalog's flags.
+type Flags struct {
+	Dir      string
+	Key      string
+	Capacity int
+	Queue    int
+	Batch    int
+	Flush    time.Duration
+	Segment  int
+	Mode     string
+}
+
+// RegisterFlags defines the audit flags on fs, names, defaults and
+// help text taken from FlagCatalog.
+func RegisterFlags(fs *flag.FlagSet) *Flags {
+	f := &Flags{}
+	cat := FlagCatalog()
+	byName := make(map[string]FlagDesc, len(cat))
+	for _, d := range cat {
+		byName[d.Name] = d
+	}
+	str := func(name string, dst *string) {
+		d := byName[name]
+		fs.StringVar(dst, d.Name, d.Default, d.Help)
+	}
+	num := func(name string, dst *int) {
+		d := byName[name]
+		def, _ := strconv.Atoi(d.Default)
+		fs.IntVar(dst, d.Name, def, d.Help)
+	}
+	str("audit-dir", &f.Dir)
+	str("audit-key", &f.Key)
+	num("audit-capacity", &f.Capacity)
+	num("audit-queue", &f.Queue)
+	num("audit-batch", &f.Batch)
+	fs.DurationVar(&f.Flush, "audit-flush", DefaultFlushInterval, byName["audit-flush"].Help)
+	num("audit-segment", &f.Segment)
+	str("audit-mode", &f.Mode)
+	return f
+}
+
+// Build constructs the pipeline Log the flags describe. The returned
+// Log must be Closed on shutdown to seal the final segment. Metrics
+// may be nil.
+func (f *Flags) Build(m *obs.Metrics) (*Log, error) {
+	mode, err := ParseDegradedMode(f.Mode)
+	if err != nil {
+		return nil, err
+	}
+	cfg := Config{
+		Capacity:       f.Capacity,
+		Queue:          f.Queue,
+		Batch:          f.Batch,
+		FlushInterval:  f.Flush,
+		SegmentRecords: f.Segment,
+		Mode:           mode,
+		Metrics:        m,
+	}
+	if f.Dir != "" {
+		sink, err := NewDirSink(f.Dir)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Sink = sink
+	}
+	if f.Key != "" {
+		sealer, err := LoadOrCreateSealer(f.Key)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Sealer = sealer
+	}
+	log, err := NewPipeline(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("audit: %w", err)
+	}
+	return log, nil
+}

@@ -1,0 +1,467 @@
+// The asynchronous pipeline: a bounded queue feeding a single writer
+// goroutine that group-commits records — hashing each into a leaf,
+// Merkle-summarizing the batch, chaining the batch root onto the hash
+// chain, appending the raw JSONL to the sink — and rotates + seals
+// segments. Appending is what the enforcement
+// points pay on the decision hot path; everything cryptographic happens
+// on the writer, off that path. When the queue fills, the configured
+// DegradedMode decides the failure semantics: ModeBlock applies
+// backpressure (no decision proceeds unaudited — fail closed, the
+// startup-PEP posture), ModeDrop sheds the record and counts it (the
+// trail thins but the service answers — fail open). docs/AUDIT.md's
+// degraded-mode matrix says which mode fits which enforcement point.
+
+package audit
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gridauth/internal/obs"
+)
+
+// DegradedMode selects what Append does when the pipeline queue is
+// full.
+type DegradedMode int
+
+const (
+	// ModeBlock makes Append wait for queue space: auditing applies
+	// backpressure and no record is lost.
+	ModeBlock DegradedMode = iota
+	// ModeDrop makes Append shed the record immediately, counting it in
+	// QueueDropped and the audit_dropped_total metric.
+	ModeDrop
+)
+
+// String renders the mode as its flag value.
+func (m DegradedMode) String() string {
+	if m == ModeDrop {
+		return "drop"
+	}
+	return "block"
+}
+
+// ParseDegradedMode parses a -audit-mode flag value.
+func ParseDegradedMode(s string) (DegradedMode, error) {
+	switch s {
+	case "block":
+		return ModeBlock, nil
+	case "drop":
+		return ModeDrop, nil
+	}
+	return ModeBlock, fmt.Errorf("audit: unknown degraded mode %q (want block or drop)", s)
+}
+
+// Pipeline sizing defaults — shared by Config and the gatekeeper's
+// flag catalog (FlagCatalog), so the documented defaults cannot drift
+// from the effective ones.
+const (
+	DefaultCapacity       = 4096
+	DefaultQueue          = 8192
+	DefaultBatch          = 256
+	DefaultFlushInterval  = 5 * time.Millisecond
+	DefaultSegmentRecords = 65536
+)
+
+// Config parameterizes NewPipeline. The zero value of every field
+// selects a production-reasonable default.
+type Config struct {
+	// Capacity bounds the in-memory recent-records ring behind the
+	// query methods (default DefaultCapacity). Ring eviction does not
+	// lose records: they are already committed to the sink.
+	Capacity int
+	// Queue bounds the append queue (default DefaultQueue).
+	Queue int
+	// Batch caps records per group commit (default DefaultBatch).
+	Batch int
+	// FlushInterval bounds how long a queued record waits for a commit
+	// when traffic is light (default DefaultFlushInterval).
+	FlushInterval time.Duration
+	// SegmentRecords is the rotation threshold: the first group commit
+	// that brings the open segment to this many records seals it
+	// (default DefaultSegmentRecords). Segments may therefore exceed the
+	// threshold by at most one batch.
+	SegmentRecords int
+	// Mode is the queue-full policy (default ModeBlock).
+	Mode DegradedMode
+	// Sink receives committed batches and sealed manifests (default: a
+	// fresh MemSink).
+	Sink Sink
+	// Sealer signs segment manifests (default: a fresh ephemeral key).
+	Sealer *Sealer
+	// Metrics, when non-nil, feeds the audit_* series of the catalog
+	// (docs/OBSERVABILITY.md): records/batches/segments counters, queue
+	// depth, flush latency, dropped and blocked counts.
+	Metrics *obs.Metrics
+}
+
+// NewPipeline starts the asynchronous tamper-evident writer and
+// returns the Log fronting it. The caller owns the Log and must Close
+// it to seal the final segment and release the sink.
+func NewPipeline(cfg Config) (*Log, error) {
+	if cfg.Capacity <= 0 {
+		cfg.Capacity = DefaultCapacity
+	}
+	if cfg.Queue <= 0 {
+		cfg.Queue = DefaultQueue
+	}
+	if cfg.Batch <= 0 {
+		cfg.Batch = DefaultBatch
+	}
+	if cfg.FlushInterval <= 0 {
+		cfg.FlushInterval = DefaultFlushInterval
+	}
+	if cfg.SegmentRecords <= 0 {
+		cfg.SegmentRecords = DefaultSegmentRecords
+	}
+	if cfg.Sink == nil {
+		cfg.Sink = NewMemSink()
+	}
+	if cfg.Sealer == nil {
+		s, err := NewSealer()
+		if err != nil {
+			return nil, err
+		}
+		cfg.Sealer = s
+	}
+	l := &Log{records: make([]Record, cfg.Capacity)}
+	l.nowFn.Store(time.Now)
+	p := &pipeline{
+		log:       l,
+		cfg:       cfg,
+		wake:      make(chan struct{}, 1),
+		flushCh:   make(chan chan struct{}),
+		stop:      make(chan struct{}),
+		done:      make(chan struct{}),
+		chain:     genesisChain(),
+		chainInit: genesisChain(),
+	}
+	p.notFull.L = &p.mu
+	l.pipe = p
+	go p.run()
+	return l, nil
+}
+
+// pipeline is the writer side of an asynchronous Log.
+//
+// The queue is a swap buffer, the shape real group-commit writers use:
+// appenders append to pending under mu (one short critical section per
+// record), and the writer goroutine takes the whole slice in one swap
+// per commit. Compared with a channel this removes a per-record
+// select, a per-record copy, and most lock traffic — which is what
+// lets a single writer core sustain the P11 throughput bar.
+type pipeline struct {
+	log     *Log
+	cfg     Config
+	mu      sync.Mutex
+	notFull sync.Cond     // appenders in ModeBlock wait here when pending is full
+	pending []Record      // append side; bounded by cfg.Queue
+	spare   []Record      // writer-owned swap target, ping-ponged with pending
+	wake    chan struct{} // cap 1: pending went non-empty or reached a full batch
+	flushCh chan chan struct{}
+	stop    chan struct{}
+	done    chan struct{}
+
+	closeOnce    sync.Once
+	closed       atomic.Bool
+	queueDropped atomic.Uint64
+	sinkErr      atomic.Value // error
+
+	// Writer-goroutine-only state below.
+	seq         uint64
+	segIndex    int
+	segFirstSeq uint64
+	segCount    int
+	segBatches  []BatchInfo
+	chain       digest
+	chainInit   digest
+	prevSeal    string
+
+	// Per-commit scratch, reused so a steady-state group commit
+	// allocates nothing: the rendered JSONL bytes, per-line end offsets
+	// into buf, the line sub-slices handed to the sink, and the leaf
+	// hashes.
+	enc    recordEncoder
+	buf    []byte
+	ends   []int
+	lines  [][]byte
+	leaves []digest
+}
+
+// enqueue applies the degraded-mode policy on the append hot path.
+func (p *pipeline) enqueue(r Record) {
+	if p.closed.Load() {
+		p.countDrop()
+		return
+	}
+	p.mu.Lock()
+	if len(p.pending) >= p.cfg.Queue {
+		// Queue full: degrade per the configured mode.
+		if p.cfg.Mode == ModeDrop {
+			p.mu.Unlock()
+			p.countDrop()
+			return
+		}
+		if m := p.cfg.Metrics; m != nil {
+			m.AuditBlocked.Inc()
+		}
+		for len(p.pending) >= p.cfg.Queue && !p.closed.Load() {
+			p.notFull.Wait()
+		}
+	}
+	if p.closed.Load() {
+		// Shutdown raced the append; the record is lost and counted,
+		// exactly like a post-Close append. (Close sets closed before the
+		// writer's final drain, so everything appended while !closed under
+		// mu is still committed.)
+		p.mu.Unlock()
+		p.countDrop()
+		return
+	}
+	p.pending = append(p.pending, r)
+	// Wake the writer when pending goes non-empty (it only sleeps after
+	// observing it empty) and again when a full batch is ready (so a
+	// sustained burst commits immediately instead of at the next tick).
+	notify := len(p.pending) == 1 || len(p.pending) == p.cfg.Batch
+	p.mu.Unlock()
+	if notify {
+		select {
+		case p.wake <- struct{}{}:
+		default:
+		}
+	}
+}
+
+func (p *pipeline) countDrop() {
+	p.queueDropped.Add(1)
+	if m := p.cfg.Metrics; m != nil {
+		m.AuditDropped.Inc()
+	}
+}
+
+// flush blocks until everything appended before the call is committed.
+func (p *pipeline) flush() {
+	ack := make(chan struct{})
+	select {
+	case p.flushCh <- ack:
+		select {
+		case <-ack:
+		case <-p.done:
+		}
+	case <-p.done:
+	}
+}
+
+// close drains, commits, seals the open segment and closes the sink.
+func (p *pipeline) close() error {
+	p.closeOnce.Do(func() {
+		p.closed.Store(true)
+		// Release appenders blocked on a full queue; they observe closed
+		// and count their record as dropped.
+		p.mu.Lock()
+		p.notFull.Broadcast()
+		p.mu.Unlock()
+		close(p.stop)
+		<-p.done
+	})
+	if err, ok := p.sinkErr.Load().(error); ok {
+		return err
+	}
+	return nil
+}
+
+// run is the single writer goroutine.
+func (p *pipeline) run() {
+	defer close(p.done)
+	ticker := time.NewTicker(p.cfg.FlushInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-p.wake:
+			// Commit only once a full batch is pending; a partial batch
+			// waits for the ticker, which bounds its latency to
+			// FlushInterval — the group-commit contract.
+			p.commitPending(false)
+		case <-ticker.C:
+			p.commitPending(true)
+		case ack := <-p.flushCh:
+			p.commitPending(true)
+			close(ack)
+		case <-p.stop:
+			p.commitPending(true)
+			p.sealSegment()
+			if err := p.cfg.Sink.Close(); err != nil {
+				p.noteErr(err)
+			}
+			return
+		}
+	}
+}
+
+// commitPending swaps out the pending records and commits them in
+// batch-sized chunks, looping while full batches keep arriving. With
+// force it also commits a trailing partial batch (tick, flush,
+// shutdown) — but only what was pending on entry, so a flush cannot
+// chase an active appender forever.
+func (p *pipeline) commitPending(force bool) {
+	for {
+		p.mu.Lock()
+		n := len(p.pending)
+		if n == 0 || (!force && n < p.cfg.Batch) {
+			if m := p.cfg.Metrics; m != nil {
+				m.AuditQueueDepth.Set(int64(n))
+			}
+			p.mu.Unlock()
+			return
+		}
+		batch := p.pending
+		p.pending = p.spare[:0]
+		p.notFull.Broadcast()
+		p.mu.Unlock()
+		for off := 0; off < len(batch); off += p.cfg.Batch {
+			end := off + p.cfg.Batch
+			if end > len(batch) {
+				end = len(batch)
+			}
+			p.commit(batch[off:end])
+		}
+		p.spare = batch // keep the array for the next swap
+		force = false
+	}
+}
+
+// commit is the group commit: sequence, hash-chain and Merkle-summarize
+// the batch, hand the raw lines to the sink, publish the records to the
+// query ring, and rotate the segment at the threshold.
+func (p *pipeline) commit(batch []Record) {
+	if len(batch) == 0 {
+		return
+	}
+	start := time.Now()
+	info := BatchInfo{FirstSeq: p.seq}
+	p.buf, p.ends = p.buf[:0], p.ends[:0]
+	kept := 0 // records that rendered; a failure compacts the batch in place
+	for i := range batch {
+		r := &batch[i]
+		r.Seq = p.seq
+		from := len(p.buf)
+		// Each record is rendered as [0x00][json][\n]: the 0x00 is the
+		// leaf-hash domain prefix, placed inline so the leaf can be hashed
+		// straight out of the buffer with no copy. The sink line skips it.
+		p.buf = append(p.buf, 0x00)
+		var ok bool
+		if p.buf, ok = p.enc.appendRecord(p.buf, r); !ok {
+			line, err := json.Marshal(r)
+			if err != nil {
+				// A record that cannot marshal (would need an exotic span
+				// payload) is unrepresentable in the log; count it as
+				// dropped rather than poisoning the batch. Its sequence
+				// number is not consumed, keeping the committed sequence
+				// contiguous.
+				p.countDrop()
+				p.buf = p.buf[:from]
+				continue
+			}
+			p.buf = append(p.buf, line...)
+		}
+		p.buf = append(p.buf, '\n')
+		p.ends = append(p.ends, len(p.buf))
+		p.seq++
+		if kept != i {
+			batch[kept] = batch[i]
+		}
+		kept++
+	}
+	if len(p.ends) == 0 {
+		return
+	}
+	// Hash and sub-slice only now that the whole batch is rendered:
+	// p.buf can no longer reallocate, so the line slices stay valid.
+	p.lines, p.leaves = p.lines[:0], p.leaves[:0]
+	from := 0
+	for _, end := range p.ends {
+		p.lines = append(p.lines, p.buf[from+1:end])                  // json + newline
+		p.leaves = append(p.leaves, sha256.Sum256(p.buf[from:end-1])) // 0x00 + json
+		from = end
+	}
+	info.Count = len(p.lines)
+	root := merkleRoot(p.leaves)
+	info.Root = hex.EncodeToString(root[:])
+	// The chain links batch roots, not individual records: every leaf is
+	// already bound by its batch's Merkle root, so chaining the roots
+	// carries the same tamper evidence at one hash per group commit
+	// instead of one per record.
+	p.chain = chainHash(p.chain, root)
+	if err := p.cfg.Sink.WriteBatch(p.segIndex, p.lines); err != nil {
+		p.noteErr(err)
+	}
+	p.segBatches = append(p.segBatches, info)
+	p.segCount += len(p.lines)
+
+	p.log.mu.Lock()
+	for i := 0; i < kept; i++ {
+		p.log.appendRing(batch[i])
+	}
+	p.log.mu.Unlock()
+
+	if m := p.cfg.Metrics; m != nil {
+		m.AuditRecords.Add(uint64(len(p.lines)))
+		m.AuditBatches.Inc()
+		m.AuditFlushSeconds.Observe(time.Since(start))
+	}
+	if p.segCount >= p.cfg.SegmentRecords {
+		p.sealSegment()
+	}
+}
+
+// sealSegment closes the open segment with a signed manifest and
+// starts the next one. An empty open segment (rotation just happened,
+// or the log never saw a record) is not sealed.
+func (p *pipeline) sealSegment() {
+	if p.segCount == 0 {
+		return
+	}
+	roots := make([]digest, len(p.segBatches))
+	for i, b := range p.segBatches {
+		raw, _ := hex.DecodeString(b.Root)
+		copy(roots[i][:], raw)
+	}
+	segRoot := merkleRoot(roots)
+	m := &Manifest{
+		Index:     p.segIndex,
+		FirstSeq:  p.segFirstSeq,
+		Count:     p.segCount,
+		ChainInit: hex.EncodeToString(p.chainInit[:]),
+		ChainHead: hex.EncodeToString(p.chain[:]),
+		PrevSeal:  p.prevSeal,
+		Batches:   p.segBatches,
+		Root:      hex.EncodeToString(segRoot[:]),
+	}
+	if err := p.cfg.Sealer.seal(m); err != nil {
+		p.noteErr(err)
+	}
+	if err := p.cfg.Sink.SealSegment(m); err != nil {
+		p.noteErr(err)
+	}
+	if mm := p.cfg.Metrics; mm != nil {
+		mm.AuditSegmentsSealed.Inc()
+	}
+	p.prevSeal = m.Seal
+	p.chainInit = p.chain
+	p.segIndex++
+	p.segFirstSeq = p.seq
+	p.segCount = 0
+	p.segBatches = nil
+}
+
+// noteErr retains the first sink/seal error for Close to surface.
+func (p *pipeline) noteErr(err error) {
+	if _, ok := p.sinkErr.Load().(error); !ok {
+		p.sinkErr.Store(err)
+	}
+}

@@ -1,0 +1,227 @@
+package audit
+
+import (
+	"bytes"
+	"crypto/ed25519"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// sealedDir writes a fresh multi-segment sealed log into a temp
+// directory and returns it with the sealing key's public half.
+func sealedDir(t *testing.T, records int) (string, ed25519.PublicKey) {
+	t.Helper()
+	dir := t.TempDir()
+	sink, err := NewDirSink(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seed := bytes.Repeat([]byte{0x42}, ed25519.SeedSize)
+	sealer, err := NewSealerFromSeed(seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	log, err := NewPipeline(Config{
+		Sink:           sink,
+		Sealer:         sealer,
+		Batch:          4,
+		SegmentRecords: 10, // several rotations for a few dozen records
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < records; i++ {
+		log.Append(Record{
+			Subject: "/O=Grid/CN=Kate",
+			Action:  fmt.Sprintf("start-%d", i),
+			PDP:     "p",
+			Effect:  "permit",
+			Reason:  "ok",
+			Elapsed: time.Duration(i) * time.Microsecond,
+		})
+	}
+	if err := log.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return dir, sealer.Public()
+}
+
+func TestVerifyDirAcceptsIntactLog(t *testing.T) {
+	dir, pub := sealedDir(t, 35)
+	rep, err := VerifyDir(dir, nil)
+	if err != nil {
+		t.Fatalf("intact log rejected: %v", err)
+	}
+	if rep.Records+rep.Open != 35 {
+		t.Fatalf("verified %d+%d records, wrote 35", rep.Records, rep.Open)
+	}
+	sealed := 0
+	for _, s := range rep.Segments {
+		if s.Sealed {
+			sealed++
+		}
+	}
+	if sealed < 3 {
+		t.Fatalf("35 records at threshold 10 sealed only %d segment(s)", sealed)
+	}
+	// Pinning the real key passes; pinning any other key fails.
+	if _, err := VerifyDir(dir, pub); err != nil {
+		t.Fatalf("pinned verification rejected the sealing key: %v", err)
+	}
+	other := ed25519.NewKeyFromSeed(bytes.Repeat([]byte{0x7}, ed25519.SeedSize)).Public().(ed25519.PublicKey)
+	if _, err := VerifyDir(dir, other); err == nil {
+		t.Fatal("a foreign pinned key verified the seals")
+	}
+}
+
+func TestVerifyDirDetectsFlippedByte(t *testing.T) {
+	dir, _ := sealedDir(t, 35)
+	path := filepath.Join(dir, segmentFile(1))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one letter inside a record's subject — the JSON stays valid,
+	// only the content lies.
+	tampered := bytes.Replace(data, []byte("CN=Kate"), []byte("CN=Kurt"), 1)
+	if bytes.Equal(tampered, data) {
+		t.Fatal("test subject not found in segment")
+	}
+	if err := os.WriteFile(path, tampered, 0o600); err != nil {
+		t.Fatal(err)
+	}
+	_, err = VerifyDir(dir, nil)
+	if err == nil {
+		t.Fatal("a flipped byte in a sealed segment verified clean")
+	}
+	if !strings.Contains(err.Error(), "segment 1") {
+		t.Fatalf("tamper not localized to segment 1: %v", err)
+	}
+}
+
+func TestVerifyDirDetectsRemovedRecord(t *testing.T) {
+	dir, _ := sealedDir(t, 35)
+	path := filepath.Join(dir, segmentFile(0))
+	lines, err := readSegmentLines(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	for i, line := range lines {
+		if i == 3 { // excise one record
+			continue
+		}
+		buf.Write(line)
+		buf.WriteByte('\n')
+	}
+	if err := os.WriteFile(path, buf.Bytes(), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := VerifyDir(dir, nil); err == nil {
+		t.Fatal("a spliced-out record verified clean")
+	}
+}
+
+func TestVerifyDirDetectsManifestTamper(t *testing.T) {
+	dir, _ := sealedDir(t, 35)
+	path := filepath.Join(dir, manifestFile(0))
+	m, err := loadManifest(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rewrite history: claim the segment holds one record fewer. The
+	// seal was computed over the honest manifest, so the signature check
+	// must fail.
+	m.Count--
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tampered := bytes.Replace(data, []byte(fmt.Sprintf("\"count\": %d", m.Count+1)), []byte(fmt.Sprintf("\"count\": %d", m.Count)), 1)
+	if bytes.Equal(tampered, data) {
+		t.Fatal("count field not found in manifest")
+	}
+	if err := os.WriteFile(path, tampered, 0o600); err != nil {
+		t.Fatal(err)
+	}
+	_, err = VerifyDir(dir, nil)
+	if err == nil {
+		t.Fatal("an edited manifest verified clean")
+	}
+	if !strings.Contains(err.Error(), "seal") {
+		t.Fatalf("manifest edit not caught by the seal check: %v", err)
+	}
+}
+
+func TestVerifyDirTrailingOpenSegment(t *testing.T) {
+	dir, _ := sealedDir(t, 35)
+	idxs, err := segmentIndexes(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := idxs[len(idxs)-1]
+	// Remove the last manifest: the pipeline might have been killed
+	// before Close. The segment is reported open, not an error.
+	if err := os.Remove(filepath.Join(dir, manifestFile(last))); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := VerifyDir(dir, nil)
+	if err != nil {
+		t.Fatalf("trailing open segment treated as tampering: %v", err)
+	}
+	if rep.Open == 0 {
+		t.Fatal("open segment's records not reported")
+	}
+	// A missing manifest anywhere else is an error: segments cannot
+	// silently lose their seal mid-log.
+	if err := os.Remove(filepath.Join(dir, manifestFile(0))); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := VerifyDir(dir, nil); err == nil {
+		t.Fatal("mid-log missing manifest verified clean")
+	}
+}
+
+func TestProveInclusionRoundTrip(t *testing.T) {
+	dir, pub := sealedDir(t, 35)
+	rep, err := VerifyDir(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seq := uint64(0); seq < uint64(rep.Records); seq++ {
+		proof, err := ProveInclusion(dir, seq, pub)
+		if err != nil {
+			t.Fatalf("seq %d: %v", seq, err)
+		}
+		if proof.Seq != seq {
+			t.Fatalf("proof addresses seq %d, asked for %d", proof.Seq, seq)
+		}
+		if want := fmt.Sprintf("\"action\":\"start-%d\"", seq); !strings.Contains(proof.Record, want) {
+			t.Fatalf("seq %d: proof carries the wrong record: %s", seq, proof.Record)
+		}
+	}
+	// Beyond the sealed range there is nothing to prove.
+	if _, err := ProveInclusion(dir, uint64(rep.Records+rep.Open), pub); err == nil {
+		t.Fatal("inclusion proven for a sequence number past the log")
+	}
+}
+
+func TestProveInclusionDetectsTamperedRecord(t *testing.T) {
+	dir, _ := sealedDir(t, 35)
+	path := filepath.Join(dir, segmentFile(0))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tampered := bytes.Replace(data, []byte("start-2"), []byte("start-9"), 1)
+	if err := os.WriteFile(path, tampered, 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ProveInclusion(dir, 2, nil); err == nil {
+		t.Fatal("inclusion proven for a tampered record")
+	}
+}

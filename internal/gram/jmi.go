@@ -336,6 +336,10 @@ func lrmError(err error) *ProtoError {
 // Both enforcement points — the Gatekeeper and each JMI — funnel
 // through here so the trail always names who asked, for what job, and
 // which policy source decided (§4.3's "security, audit, accounting").
+// On a pipeline log the append is asynchronous; with the queue full,
+// block mode (the docs/AUDIT.md recommendation for job startup and
+// management) applies backpressure here, so no GRAM decision is ever
+// acted on unrecorded.
 //
 // When the request is traced, the trace is finalized here — the summary
 // the PEP acted on, independent of whether a log is configured — and

@@ -158,7 +158,10 @@ func NewServer(cred *gsi.Credential, trust *gsi.TrustStore, registry *core.Regis
 
 // SetAudit wires a decision log into the data service's enforcement
 // point; every authorized operation (and every refusal) leaves a
-// record. Call before Serve; nil disables auditing.
+// record. Call before Serve; nil disables auditing. On a pipeline log
+// the append is asynchronous; docs/AUDIT.md's degraded-mode matrix
+// recommends drop mode for this high-rate data path (a shed record is
+// counted, the transfer is not stalled).
 func (s *Server) SetAudit(log *audit.Log) { s.audit = log }
 
 // Serve accepts connections until Close.

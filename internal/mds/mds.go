@@ -188,6 +188,8 @@ const CalloutMDS = "globus_mds_authz"
 // policy can, e.g., restrict discovery to VO members. When log is
 // non-nil every decision the wrapper acts on is recorded — discovery
 // refusals are part of the audit trail too (nil disables auditing).
+// Discovery is read-only, so docs/AUDIT.md's degraded-mode matrix
+// allows drop mode here: a thinner trail beats stalled queries.
 func QueryPDP(reg *core.Registry, d *Directory, log *audit.Log) func(req *core.Request, q Query) ([]Record, core.Decision) {
 	return func(req *core.Request, q Query) ([]Record, core.Decision) {
 		decision := reg.Invoke(CalloutMDS, req)

@@ -130,6 +130,16 @@ type Metrics struct {
 	RequestsInflight Gauge   // requests currently being dispatched
 	ConnsActive      Gauge   // open authenticated connections
 	QueueWaiting     Gauge   // requests blocked on a free connection worker
+
+	// Audit pipeline (internal/audit, docs/AUDIT.md). Average batch
+	// size is derived: AuditRecords / AuditBatches.
+	AuditRecords        Counter   // records committed to the log
+	AuditBatches        Counter   // group commits flushed
+	AuditSegmentsSealed Counter   // segments rotated and sealed with a signed root
+	AuditDropped        Counter   // records shed with the queue full (drop mode) or after Close
+	AuditBlocked        Counter   // appends that waited for queue space (block mode)
+	AuditQueueDepth     Gauge     // queued records, sampled at each group commit
+	AuditFlushSeconds   Histogram // group-commit flush latency
 }
 
 // NewMetrics returns a fresh metric set.
@@ -192,6 +202,13 @@ func histogramDesc(name, help string, get func(*Metrics) *Histogram) metricDesc 
 // render order. It is sorted by name; TestCatalogSorted enforces that,
 // which makes /metrics output stable-ordered by construction.
 var descriptors = []metricDesc{
+	counterDesc("audit_batches_total", "audit group commits flushed", func(m *Metrics) *Counter { return &m.AuditBatches }),
+	counterDesc("audit_blocked_total", "audit appends that waited for queue space (block mode)", func(m *Metrics) *Counter { return &m.AuditBlocked }),
+	counterDesc("audit_dropped_total", "audit records shed with the queue full (drop mode) or after close", func(m *Metrics) *Counter { return &m.AuditDropped }),
+	histogramDesc("audit_flush_seconds", "audit group-commit flush latency", func(m *Metrics) *Histogram { return &m.AuditFlushSeconds }),
+	gaugeDesc("audit_queue_depth", "audit records queued for commit, sampled at each group commit", func(m *Metrics) *Gauge { return &m.AuditQueueDepth }),
+	counterDesc("audit_records_total", "audit records committed to the log", func(m *Metrics) *Counter { return &m.AuditRecords }),
+	counterDesc("audit_segments_sealed_total", "audit segments rotated and sealed with a signed root", func(m *Metrics) *Counter { return &m.AuditSegmentsSealed }),
 	counterDesc("authz_cache_hits_total", "decision-cache hits", func(m *Metrics) *Counter { return &m.CacheHits }),
 	counterDesc("authz_cache_misses_total", "decision-cache misses", func(m *Metrics) *Counter { return &m.CacheMisses }),
 	histogramDesc("authz_decision_seconds", "combined callout decision latency", func(m *Metrics) *Histogram { return &m.DecisionSeconds }),

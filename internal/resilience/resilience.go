@@ -28,7 +28,10 @@ type Options struct {
 	// Audit, when non-nil, records breaker state transitions as
 	// audit records (PDP = wrapped PDP's name, Action =
 	// "circuit-breaker"). Transitions are system events, not requests,
-	// so these records carry no RequestID.
+	// so these records carry no RequestID. On a pipeline log the append
+	// is asynchronous and subject to the log's queue-full degraded mode
+	// (docs/AUDIT.md): transitions are rare, so even block mode cannot
+	// meaningfully stall the breaker.
 	Audit *audit.Log
 	// Metrics, when non-nil, counts retries, breaker transitions and
 	// shed calls. Independent of metrics, a traced request's span
