@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race lint fuzz-smoke bench bench-obs bench-audit conformance verify-audit check
+.PHONY: build test race lint fuzz-smoke bench bench-obs bench-audit bench-policy conformance verify-audit check
 
 build:
 	$(GO) build ./...
@@ -25,6 +25,7 @@ lint:
 fuzz-smoke:
 	$(GO) test ./internal/rsl/ -run '^$$' -fuzz 'FuzzParse$$' -fuzztime=10s
 	$(GO) test ./internal/rsl/ -run '^$$' -fuzz 'FuzzParseSpec$$' -fuzztime=10s
+	$(GO) test ./internal/policy/ -run '^$$' -fuzz 'FuzzCompiledEquivalence$$' -fuzztime=10s
 
 bench:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
@@ -42,6 +43,13 @@ bench-obs:
 # tuning knobs and the full-stack overhead pair (docs/PERFORMANCE.md).
 bench-audit:
 	$(GO) test -run=NONE -bench 'BenchmarkP11_AuditThroughput' -benchtime=1x -json . | tee BENCH_audit.json
+
+# Machine-readable compiled-policy-engine series (P12): the
+# interpreted-vs-compiled sweep at 1k-1M rules across the three
+# workload shapes, compile cost, and the 1M-distinct-subject uniform
+# workload (docs/PERFORMANCE.md).
+bench-policy:
+	$(GO) test -run=NONE -bench 'BenchmarkP12_CompiledPolicy' -benchtime=1x -json . | tee BENCH_policy.json
 
 # Run the conformance suite with each test writing a real sealed
 # segment log, then prove every log's integrity with cmd/auditverify —

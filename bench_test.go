@@ -13,6 +13,7 @@ import (
 	"context"
 	"fmt"
 	"net"
+	"runtime"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -362,7 +363,8 @@ func BenchmarkP1_StartupAuthzOverhead(b *testing.B) {
 
 // BenchmarkP2_PolicyScaling sweeps policy size and shape for the pure
 // evaluation path, comparing the naive linear statement scan against the
-// identity index (the ablation DESIGN.md calls out).
+// compiled engine (the ablation DESIGN.md calls out; P12 extends the
+// sweep to 1M rules and distinct shapes).
 func BenchmarkP2_PolicyScaling(b *testing.B) {
 	users := workload.NFCUsers(0, 200, 0)
 	for _, stmts := range []int{10, 100, 1000, 5000} {
@@ -370,7 +372,7 @@ func BenchmarkP2_PolicyScaling(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		idx := policy.NewIndex(pol)
+		idx := policy.Compile(pol)
 		// A request matching the LAST statement (worst case for linear).
 		last := stmts - 1
 		u := users[last%len(users)]
@@ -383,7 +385,7 @@ func BenchmarkP2_PolicyScaling(b *testing.B) {
 				pol.Evaluate(req)
 			}
 		})
-		b.Run(fmt.Sprintf("indexed/statements=%d", stmts), func(b *testing.B) {
+		b.Run(fmt.Sprintf("compiled/statements=%d", stmts), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				idx.Evaluate(req)
 			}
@@ -1132,6 +1134,99 @@ func BenchmarkP11_AuditThroughput(b *testing.B) {
 		if err := log.Close(); err != nil {
 			b.Fatal(err)
 		}
+	})
+}
+
+// BenchmarkP12_CompiledPolicy prices the compiled policy engine
+// (docs/PERFORMANCE.md P12): uncached decision latency at 1k-1M rules
+// across the three workload shapes — exact-heavy (per-user statements
+// hit the exact-subject bucket), prefix-heavy (group subjects force the
+// sorted-prefix search), requirement-heavy (two requirement sets merge
+// ahead of every grant) — with the interpreted linear scan as the
+// ablation baseline and a compile series pricing the per-update
+// rebuild. The permit path must not allocate: each compiled series
+// asserts zero allocations before timing. The closing series evaluates
+// an exact-heavy 1M-rule policy under a uniform workload touching every
+// one of its ~1M distinct subjects, defeating any single-subject
+// locality the sweep's 1024-request cycle might enjoy.
+func BenchmarkP12_CompiledPolicy(b *testing.B) {
+	shapes := []struct {
+		name string
+		gen  func(int) *policy.Policy
+	}{
+		{"exact", workload.ExactHeavyPolicy},
+		{"prefix", workload.PrefixHeavyPolicy},
+		{"req", workload.RequirementHeavyPolicy},
+	}
+	assertNoAllocs := func(b *testing.B, c *policy.Compiled, reqs []policy.Request) {
+		b.Helper()
+		i := 0
+		if a := testing.AllocsPerRun(64, func() {
+			d := c.Evaluate(&reqs[i%len(reqs)])
+			i++
+			if !d.Allowed {
+				b.Fatal(d.Reason)
+			}
+		}); a != 0 {
+			b.Fatalf("permit path allocates: %.1f allocs/op", a)
+		}
+		// Retire the garbage from policy construction and compilation
+		// now; on a single-core box a concurrent mark of the setup heap
+		// would otherwise be timed against the zero-allocation loop.
+		runtime.GC()
+	}
+	for _, sh := range shapes {
+		for _, rules := range []int{1_000, 10_000, 100_000, 1_000_000} {
+			// Policy construction and compilation live inside the series
+			// b.Run so a -bench filter that skips a size never builds it
+			// (a filtered-out 1M-rule series would otherwise still pay
+			// seconds of setup).
+			b.Run(fmt.Sprintf("%s/rules=%d", sh.name, rules), func(b *testing.B) {
+				pol := sh.gen(rules)
+				c := policy.Compile(pol)
+				reqs := workload.P12Requests(pol, 1024)
+				b.Run("interpreted", func(b *testing.B) {
+					for i := 0; i < b.N; i++ {
+						if d := pol.Evaluate(&reqs[i%len(reqs)]); !d.Allowed {
+							b.Fatal(d.Reason)
+						}
+					}
+				})
+				b.Run("compiled", func(b *testing.B) {
+					assertNoAllocs(b, c, reqs)
+					b.ReportAllocs()
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						if d := c.Evaluate(&reqs[i%len(reqs)]); !d.Allowed {
+							b.Fatal(d.Reason)
+						}
+					}
+				})
+				b.Run("compile", func(b *testing.B) {
+					for i := 0; i < b.N; i++ {
+						policy.Compile(pol)
+					}
+				})
+			})
+		}
+	}
+	b.Run("uniform-1M-subjects", func(b *testing.B) {
+		// ~1M distinct subjects, one permit-path request each, visited
+		// uniformly. The parent run does the setup once; the leaf only
+		// evaluates, so b.N escalation never rebuilds the policy.
+		pol := workload.ExactHeavyPolicy(1_000_000)
+		c := policy.Compile(pol)
+		uniform := workload.P12Requests(pol, len(pol.Statements)-1)
+		b.Run("compiled", func(b *testing.B) {
+			assertNoAllocs(b, c, uniform)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if d := c.Evaluate(&uniform[i%len(uniform)]); !d.Allowed {
+					b.Fatal(d.Reason)
+				}
+			}
+		})
 	})
 }
 

@@ -50,6 +50,7 @@ func run(args []string) (int, error) {
 	owner := fs.String("owner", "", "job initiator DN, for management actions")
 	rslText := fs.String("rsl", "", "RSL job description")
 	lint := fs.Bool("lint", false, "only parse the policies and print their canonical form")
+	stats := fs.Bool("stats", false, "compile each policy and print compile time, interned-symbol and bucket counts")
 	mode := fs.String("combine", "require-all", "combination: require-all, deny-overrides, permit-overrides, first-applicable")
 	if err := fs.Parse(args); err != nil {
 		return 2, nil
@@ -73,9 +74,20 @@ func run(args []string) (int, error) {
 			fmt.Printf("# %s: %d statements\n%s", path, len(pol.Statements), pol.Unparse())
 			continue
 		}
+		if *stats {
+			s := policy.Compile(pol).Stats()
+			fmt.Printf("# %s: compiled %d statements (%d sets: %d grant, %d requirement, %d dead) in %v\n",
+				path, s.Statements, s.Sets, s.GrantSets, s.RequirementSets, s.DeadSets, s.CompileTime)
+			fmt.Printf("#   subjects: %d (%d group prefixes)  actions: %d  action buckets: %d  wildcard sets: %d  interned symbols: %d\n",
+				s.Subjects, s.GroupPrefixes, s.Actions, s.ActionBuckets, s.WildcardSets, s.Symbols)
+		}
 		pdps = append(pdps, &core.PolicyPDP{Policy: pol})
 	}
 	if *lint {
+		return 0, nil
+	}
+	if *stats && *subject == "" {
+		// Stats-only run: nothing to evaluate.
 		return 0, nil
 	}
 

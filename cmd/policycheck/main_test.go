@@ -62,6 +62,25 @@ func TestLint(t *testing.T) {
 	}
 }
 
+func TestStatsOnly(t *testing.T) {
+	vo := writeTemp(t, "vo.policy", voPolicy)
+	local := writeTemp(t, "local.policy", localPolicy)
+	// Stats-only run: compiles and reports without requiring -subject.
+	code, err := run([]string{"-policy", vo, "-policy", local, "-stats"})
+	if err != nil || code != 0 {
+		t.Fatalf("stats-only: code=%d err=%v", code, err)
+	}
+	// -stats combined with an evaluation still decides the request.
+	code, err = run([]string{
+		"-policy", vo, "-stats",
+		"-subject", "/O=Grid/O=Globus/OU=mcs.anl.gov/CN=Bo Liu",
+		"-rsl", `&(executable=test1)(jobtag=ADS)(count=2)`,
+	})
+	if err != nil || code != 0 {
+		t.Fatalf("stats+eval: code=%d err=%v", code, err)
+	}
+}
+
 func TestUsageErrors(t *testing.T) {
 	vo := writeTemp(t, "vo.policy", voPolicy)
 	cases := [][]string{

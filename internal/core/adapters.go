@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"os"
+	"sync/atomic"
 
 	"gridauth/internal/policy"
 )
@@ -12,9 +13,17 @@ import (
 // PDP interface. This is the paper's prototype configuration:
 // "we experimented with policies written in plain text files on the
 // resource. These files included both local resource and VO policies."
+//
+// Evaluation runs on the compiled form (policy.Compiled), built lazily
+// on first use and cached until the Policy field is swapped; the
+// plainfile driver pre-compiles at load so no request pays for it.
 type PolicyPDP struct {
 	// Policy is the policy to evaluate.
 	Policy *policy.Policy
+
+	// compiled caches the compiled form of Policy. It is validated by
+	// snapshot identity, so replacing Policy invalidates it implicitly.
+	compiled atomic.Pointer[policy.Compiled]
 }
 
 var (
@@ -31,7 +40,19 @@ func (p *PolicyPDP) NonBlocking() bool { return true }
 
 // Authorize implements PDP.
 func (p *PolicyPDP) Authorize(req *Request) Decision {
-	return evaluatePolicy(p.Name(), p.Policy, req)
+	return evaluatePolicy(p.Name(), p.compiledForm(), req)
+}
+
+// compiledForm returns the compiled form of the current Policy,
+// compiling and caching it on first use. Concurrent first calls may
+// compile redundantly; all results are equivalent and any one wins.
+func (p *PolicyPDP) compiledForm() *policy.Compiled {
+	if c := p.compiled.Load(); c != nil && c.Policy() == p.Policy {
+		return c
+	}
+	c := policy.Compile(p.Policy)
+	p.compiled.Store(c)
+	return c
 }
 
 // AuthorizeContext implements ContextPDP. In-process policy evaluation
@@ -46,9 +67,9 @@ func (p *PolicyPDP) AuthorizeContext(ctx context.Context, req *Request) Decision
 	return p.Authorize(req) //authlint:ignore ctxprop ctx liveness is pre-checked above; in-memory evaluation cannot block, so there is nothing left to cancel
 }
 
-// evaluatePolicy runs one policy over a request and maps the engine's
-// ternary outcome onto decision effects.
-func evaluatePolicy(name string, pol *policy.Policy, req *Request) Decision {
+// evaluatePolicy runs one compiled policy over a request and maps the
+// engine's ternary outcome onto decision effects.
+func evaluatePolicy(name string, pol *policy.Compiled, req *Request) Decision {
 	d := pol.Evaluate(&policy.Request{
 		Subject:  req.Subject,
 		Action:   req.Action,
@@ -88,13 +109,13 @@ var (
 func (p *StorePDP) Name() string { return "policy-store:" + p.Store.Source() }
 
 // NonBlocking implements NonBlockingPDP (see PolicyPDP; the store read
-// is a mutex-guarded pointer load).
+// is a single atomic pointer load).
 func (p *StorePDP) NonBlocking() bool { return true }
 
 // Authorize implements PDP: it evaluates against the policy current at
-// call time.
+// call time, using the compiled form the store rebuilt on last update.
 func (p *StorePDP) Authorize(req *Request) Decision {
-	return evaluatePolicy(p.Name(), p.Store.Current(), req)
+	return evaluatePolicy(p.Name(), p.Store.Compiled(), req)
 }
 
 // AuthorizeContext implements ContextPDP (see PolicyPDP: a pre-check,
@@ -166,7 +187,9 @@ func RegisterBuiltinDrivers(r *Registry) {
 		if err != nil {
 			return nil, err
 		}
-		return &PolicyPDP{Policy: pol}, nil
+		pdp := &PolicyPDP{Policy: pol}
+		pdp.compiledForm() // compile at load, not on the first request
+		return pdp, nil
 	})
 	r.RegisterDriver("gt2-self-only", func(map[string]string) (PDP, error) {
 		return SelfOnlyPDP{}, nil

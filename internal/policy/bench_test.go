@@ -37,17 +37,18 @@ func BenchmarkEvaluateGrant(b *testing.B) {
 	}
 }
 
-func BenchmarkEvaluateIndexed(b *testing.B) {
+func BenchmarkEvaluateCompiled(b *testing.B) {
 	p := benchPolicy(b)
-	idx := NewIndex(p)
+	c := Compile(p)
 	spec, err := parseBenchSpec(`&(executable=test1)(directory=/sandbox/test)(jobtag=ADS)(count=3)`)
 	if err != nil {
 		b.Fatal(err)
 	}
 	req := &Request{Subject: bo, Action: ActionStart, Spec: spec}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if !idx.Evaluate(req).Allowed {
+		if !c.Evaluate(req).Allowed {
 			b.Fatal("denied")
 		}
 	}

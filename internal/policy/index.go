@@ -1,63 +1,99 @@
 package policy
 
 import (
-	"gridauth/internal/gsi"
+	"sort"
+	"strings"
 )
 
-// Index accelerates statement lookup for large policies. The naive
-// ApplicableTo scans every statement and prefix-compares its subject; an
-// Index buckets statements by exact subject and keeps the (typically
-// few) group-prefix statements — those that are proper prefixes of some
-// member identity — in a separate list. For a policy with one statement
-// per user this turns evaluation from O(#statements) into O(#prefix
-// statements + 1). The DESIGN.md P2 benchmark quantifies the difference.
+// subjectIndex resolves identities to policy subjects by longest prefix.
+// It replaces the former test-only Index type: where that structure kept
+// group statements in a list that was linearly prefix-scanned per lookup
+// (and missed statements whose subject carries a CN yet is still a
+// proper prefix of a longer identity, e.g. proxy-extended names), this
+// one holds every distinct statement subject in a sorted list and
+// answers lookups with a single binary search.
 //
-// The index is built once from a policy snapshot; rebuilding after policy
-// changes is the caller's business.
-type Index struct {
-	source  string
-	byExact map[gsi.DN][]*Statement
-	// prefixes holds statements that must be prefix-matched. Statement
-	// order across exact+prefix buckets is not preserved; evaluation
-	// semantics do not depend on statement order.
-	prefixes []*Statement
+// The trick that makes one search sufficient: alongside the sorted keys,
+// parents[i] records the index of the longest key that is a proper
+// prefix of keys[i] (-1 when none), computed with a stack sweep at build
+// time. The keys prefixing an identity always form a chain, so once the
+// longest match is known the rest are its precomputed ancestors — and
+// the longest match is derivable from the identity's sorted predecessor:
+// every key prefixing the identity is a prefix of that predecessor no
+// longer than their longest common prefix.
+type subjectIndex struct {
+	keys    []string
+	parents []int32
+	// groups counts keys that are proper prefixes of at least one other
+	// key (reported in CompileStats).
+	groups int
 }
 
-// NewIndex builds an index over the policy. A statement is treated as a
-// group prefix when its subject lacks a CN component (individual Grid
-// identities always carry one); statements with a CN are also
-// prefix-matched against proxy-extended names by the caller normalizing
-// identities first, which the GRAM layer already does.
-func NewIndex(p *Policy) *Index {
-	idx := &Index{
-		source:  p.Source,
-		byExact: make(map[gsi.DN][]*Statement, len(p.Statements)),
-	}
-	for _, st := range p.Statements {
-		if st.Subject.CN() == "" {
-			idx.prefixes = append(idx.prefixes, st)
-			continue
+// buildSubjectIndex indexes the given distinct subjects. The slice is
+// sorted in place and retained.
+func buildSubjectIndex(keys []string) subjectIndex {
+	sort.Strings(keys)
+	x := subjectIndex{keys: keys, parents: make([]int32, len(keys))}
+	var stack []int32
+	prefixed := make([]bool, len(keys))
+	for i, k := range keys {
+		for len(stack) > 0 && !strings.HasPrefix(k, keys[stack[len(stack)-1]]) {
+			stack = stack[:len(stack)-1]
 		}
-		idx.byExact[st.Subject] = append(idx.byExact[st.Subject], st)
+		if len(stack) > 0 {
+			p := stack[len(stack)-1]
+			x.parents[i] = p
+			prefixed[p] = true
+		} else {
+			x.parents[i] = -1
+		}
+		stack = append(stack, int32(i))
 	}
-	return idx
+	for _, p := range prefixed {
+		if p {
+			x.groups++
+		}
+	}
+	return x
 }
 
-// ApplicableTo returns the statements applying to identity.
-func (x *Index) ApplicableTo(identity gsi.DN) []*Statement {
-	exact := x.byExact[identity]
-	out := make([]*Statement, 0, len(exact)+4)
-	out = append(out, exact...)
-	for _, st := range x.prefixes {
-		if identity.HasPrefix(st.Subject) {
-			out = append(out, st)
+// longestPrefix returns the index of the longest key that is a proper
+// prefix of id, or -1. id must not itself be a key (exact matches are
+// resolved by map lookup before this is consulted).
+func (x *subjectIndex) longestPrefix(id string) int32 {
+	i := sort.SearchStrings(x.keys, id)
+	if i == 0 {
+		return -1
+	}
+	j := int32(i - 1)
+	l := lcpLen(x.keys[j], id)
+	for j >= 0 {
+		if len(x.keys[j]) <= l {
+			return j
 		}
+		j = x.parents[j]
+	}
+	return -1
+}
+
+// chain returns the indices of every key that is a prefix of keys[i]
+// (including i itself), longest first.
+func (x *subjectIndex) chain(i int32) []int32 {
+	var out []int32
+	for j := i; j >= 0; j = x.parents[j] {
+		out = append(out, j)
 	}
 	return out
 }
 
-// Evaluate decides a request using the index. It returns the same
-// decisions as Policy.Evaluate on the indexed policy.
-func (x *Index) Evaluate(req *Request) Decision {
-	return evaluateStatements(x.source, x.ApplicableTo(req.Subject), req)
+func lcpLen(a, b string) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	i := 0
+	for i < n && a[i] == b[i] {
+		i++
+	}
+	return i
 }

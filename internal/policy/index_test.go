@@ -1,6 +1,7 @@
 package policy
 
 import (
+	"reflect"
 	"testing"
 	"testing/quick"
 
@@ -8,9 +9,9 @@ import (
 	"gridauth/internal/rsl"
 )
 
-func TestIndexMatchesLinearEvaluation(t *testing.T) {
+func TestCompiledMatchesLinearEvaluation(t *testing.T) {
 	p := fig3Policy(t)
-	idx := NewIndex(p)
+	c := Compile(p)
 	reqs := []*Request{
 		{Subject: bo, Action: ActionStart,
 			Spec: spec(t, `&(executable=test1)(directory=/sandbox/test)(jobtag=ADS)(count=3)`)},
@@ -24,22 +25,19 @@ func TestIndexMatchesLinearEvaluation(t *testing.T) {
 	}
 	for i, req := range reqs {
 		lin := p.Evaluate(req)
-		ind := idx.Evaluate(req)
-		if lin.Allowed != ind.Allowed || lin.Applicable != ind.Applicable {
-			t.Errorf("request %d: linear (%v,%v) != indexed (%v,%v)",
-				i, lin.Allowed, lin.Applicable, ind.Allowed, ind.Applicable)
+		com := c.Evaluate(req)
+		if lin != com {
+			t.Errorf("request %d: linear %+v != compiled %+v", i, lin, com)
 		}
 	}
 }
 
-// Property: for randomly shaped requests, indexed and linear evaluation
-// agree on the fig3 policy plus a group requirement.
-func TestQuickIndexEquivalence(t *testing.T) {
+// Property: for randomly shaped requests, compiled and linear evaluation
+// return identical decisions (all fields) on the fig3 policy.
+func TestQuickCompiledEquivalence(t *testing.T) {
 	p := fig3Policy(t)
-	idx := NewIndex(p)
-	subjects := []struct{ dn string }{
-		{string(bo)}, {string(kate)}, {string(sam)}, {string(ext)},
-	}
+	c := Compile(p)
+	subjects := []gsi.DN{bo, kate, sam, ext}
 	actions := []string{ActionStart, ActionCancel, ActionInformation, ActionSignal}
 	exes := []string{"test1", "test2", "TRANSP", "rm"}
 	tags := []string{"ADS", "NFC", ""}
@@ -52,33 +50,138 @@ func TestQuickIndexEquivalence(t *testing.T) {
 			sp.Set("jobtag", tag)
 		}
 		req := &Request{
-			Subject:  gsi.DN(subjects[int(s)%len(subjects)].dn),
+			Subject:  subjects[int(s)%len(subjects)],
 			Action:   actions[int(a)%len(actions)],
 			Spec:     sp,
 			JobOwner: bo,
 		}
-		lin := p.Evaluate(req)
-		ind := idx.Evaluate(req)
-		return lin.Allowed == ind.Allowed && lin.Applicable == ind.Applicable
+		return p.Evaluate(req) == c.Evaluate(req)
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
 		t.Error(err)
 	}
 }
 
-func TestIndexApplicableToBucketsGroups(t *testing.T) {
+func TestCompiledApplicableToBucketsGroups(t *testing.T) {
 	p := fig3Policy(t)
-	idx := NewIndex(p)
+	c := Compile(p)
 	// Bo gets the group requirement plus her own statement.
-	if got := len(idx.ApplicableTo(bo)); got != 2 {
+	if got := len(c.ApplicableTo(bo)); got != 2 {
 		t.Errorf("ApplicableTo(bo) = %d, want 2", got)
 	}
 	// Sam gets only the group requirement.
-	if got := len(idx.ApplicableTo(sam)); got != 1 {
+	if got := len(c.ApplicableTo(sam)); got != 1 {
 		t.Errorf("ApplicableTo(sam) = %d, want 1", got)
 	}
 	// Outsiders get nothing.
-	if got := len(idx.ApplicableTo(ext)); got != 0 {
+	if got := len(c.ApplicableTo(ext)); got != 0 {
 		t.Errorf("ApplicableTo(ext) = %d, want 0", got)
+	}
+}
+
+// The former Index type treated any subject carrying a CN as exact-only,
+// missing statements whose subject is a proper string prefix of a longer
+// identity (a CN that extends another, or proxy-suffixed names). The
+// sorted-prefix machinery must find them, matching Policy.ApplicableTo.
+func TestCompiledApplicableToCNProperPrefix(t *testing.T) {
+	p := MustParse(`
+/O=Grid/CN=Bo: &(action = start)(executable = probe)
+/O=Grid/CN=Bo Liu: &(action = start)(executable = test1)
+`, "local")
+	c := Compile(p)
+	for _, id := range []gsi.DN{
+		"/O=Grid/CN=Bo",
+		"/O=Grid/CN=Bo Liu",
+		"/O=Grid/CN=Bo Liu/CN=proxy",
+		"/O=Grid/CN=Bob",
+		"/O=Grid/CN=Alice",
+	} {
+		want := p.ApplicableTo(id)
+		got := c.ApplicableTo(id)
+		if len(want) != len(got) {
+			t.Fatalf("%s: linear %d statements, compiled %d", id, len(want), len(got))
+		}
+		for i := range want {
+			if want[i] != got[i] {
+				t.Errorf("%s: statement %d differs: %s vs %s",
+					id, i, want[i].Subject, got[i].Subject)
+			}
+		}
+	}
+}
+
+// Property: ApplicableTo agrees with the linear scan for arbitrarily
+// nested subject prefixes and identities built from the same path parts.
+func TestQuickCompiledApplicableTo(t *testing.T) {
+	parts := []string{"/O=Grid", "/OU=a", "/OU=ab", "/CN=u", "/CN=u2"}
+	build := func(mask uint8) string {
+		s := ""
+		for i, p := range parts {
+			if mask&(1<<i) != 0 {
+				s += p
+			}
+		}
+		return s
+	}
+	var stmts []*Statement
+	for mask := uint8(1); mask < 1<<len(parts); mask += 3 {
+		subj := build(mask)
+		if subj == "" {
+			continue
+		}
+		stmts = append(stmts, &Statement{
+			Subject: gsi.DN(subj),
+			Sets: []*AssertionSet{{Clauses: []*rsl.Relation{
+				{Attribute: "action", Op: rsl.OpEq, Values: []rsl.Value{rsl.Lit("start")}},
+				{Attribute: "executable", Op: rsl.OpEq, Values: []rsl.Value{rsl.Lit("x")}},
+			}}},
+		})
+	}
+	p := &Policy{Source: "local", Statements: stmts}
+	c := Compile(p)
+	f := func(mask uint8) bool {
+		id := gsi.DN(build(mask % (1 << len(parts))))
+		want := p.ApplicableTo(id)
+		got := c.ApplicableTo(id)
+		if len(want) == 0 && len(got) == 0 {
+			return true
+		}
+		return reflect.DeepEqual(want, got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSubjectIndexLongestPrefix(t *testing.T) {
+	keys := []string{"/a", "/a/b", "/a/b/c", "/a/bd", "/x"}
+	x := buildSubjectIndex(keys)
+	tests := []struct {
+		id   string
+		want string // "" = no match
+	}{
+		// Prefixes are plain string prefixes (gsi.DN.HasPrefix), not
+		// path components: "/a/b/c" prefixes "/a/b/cd".
+		{"/a/b/c/d", "/a/b/c"},
+		{"/a/b/cd", "/a/b/c"},
+		{"/a/bd/e", "/a/bd"},
+		{"/a/bx", "/a/b"},
+		{"/x/y", "/x"},
+		{"/y", ""},
+		{"/", ""},
+		{"", ""},
+	}
+	for _, tt := range tests {
+		j := x.longestPrefix(tt.id)
+		got := ""
+		if j >= 0 {
+			got = x.keys[j]
+		}
+		if got != tt.want {
+			t.Errorf("longestPrefix(%q) = %q, want %q", tt.id, got, tt.want)
+		}
+	}
+	if x.groups != 2 { // "/a" and "/a/b" prefix other keys
+		t.Errorf("groups = %d, want 2", x.groups)
 	}
 }

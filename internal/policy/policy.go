@@ -405,8 +405,18 @@ func clauseSatisfied(c *rsl.Relation, req *Request) bool {
 		return true
 	case rsl.OpNeq:
 		if isNull && len(want) == 0 {
-			// (attr != NULL): the attribute must be present and non-empty.
-			return len(have) > 0 && have[0] != ""
+			// (attr != NULL): the attribute must be present with every
+			// value non-empty. A request that smuggles an empty value
+			// alongside non-empty ones does not satisfy the requirement.
+			if len(have) == 0 {
+				return false
+			}
+			for _, h := range have {
+				if h == "" {
+					return false
+				}
+			}
+			return true
 		}
 		// (attr != v ...): no request value may be among the forbidden
 		// values. An absent attribute trivially satisfies.

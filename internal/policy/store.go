@@ -3,6 +3,7 @@ package policy
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // Store is a concurrency-safe holder of the CURRENT policy of one
@@ -10,28 +11,58 @@ import (
 // while the resource is serving requests (the paper's policies live in
 // files the resource owner or VO administrator edits).
 //
+// The read path is lock-free: the policy and its compiled form
+// (Compiled) are swapped together in one atomic.Pointer snapshot, so an
+// uncached decision costs one atomic load and a reader can never observe
+// a compiled form that belongs to a different policy than Current().
+//
 // Its point is change notification: every mutation fires the OnChange
 // hooks after the swap, which is how policy updates reach the decision
 // cache (core.Registry.InvalidateCaches bumps the policy epoch, so the
 // very next request re-evaluates against the new policy — a stale
-// permit can never be served).
+// permit can never be served). The compiled form is rebuilt inside
+// Update before the hooks fire, so by the time the epoch bumps the new
+// compiled snapshot is already what evaluators see.
 type Store struct {
-	mu    sync.RWMutex
-	pol   *Policy
+	snap atomic.Pointer[snapshot]
+	// mu serializes Update calls (so snapshots cannot swap out of
+	// order) and guards the hook list. Readers never take it.
+	mu    sync.Mutex
 	hooks []func()
 }
 
-// NewStore creates a store holding pol.
+// snapshot pairs a policy with its compiled form; both are immutable.
+type snapshot struct {
+	pol      *Policy
+	compiled *Compiled
+}
+
+func newSnapshot(pol *Policy) *snapshot {
+	s := &snapshot{pol: pol}
+	if pol != nil {
+		s.compiled = Compile(pol)
+	}
+	return s
+}
+
+// NewStore creates a store holding pol, compiling it immediately.
 func NewStore(pol *Policy) *Store {
-	return &Store{pol: pol}
+	s := &Store{}
+	s.snap.Store(newSnapshot(pol))
+	return s
 }
 
 // Current returns the policy as of now. Policies are treated as
 // immutable once stored: mutate by calling Update with a new one.
 func (s *Store) Current() *Policy {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.pol
+	return s.snap.Load().pol
+}
+
+// Compiled returns the compiled form of the current policy. It is
+// rebuilt on every Update, so the result always corresponds to the
+// policy a concurrent Current() call from the same snapshot returns.
+func (s *Store) Compiled() *Compiled {
+	return s.snap.Load().compiled
 }
 
 // Source returns the current policy's source label.
@@ -39,13 +70,17 @@ func (s *Store) Source() string {
 	return s.Current().Source
 }
 
-// Update atomically replaces the policy and notifies subscribers.
+// Update atomically replaces the policy (and its compiled form) and
+// notifies subscribers.
 func (s *Store) Update(pol *Policy) {
 	if pol == nil {
 		return
 	}
+	// Compile outside the lock: compilation is pure and per-snapshot,
+	// and at large policies it is the expensive part of an update.
+	snap := newSnapshot(pol)
 	s.mu.Lock()
-	s.pol = pol
+	s.snap.Store(snap)
 	hooks := append([]func(){}, s.hooks...)
 	s.mu.Unlock()
 	// Hooks run outside the lock so they may call back into the store.

@@ -565,6 +565,21 @@ func (s *Spec) Values(attr string) []string {
 	return append([]string(nil), vs...)
 }
 
+// Ref returns the attribute's values without copying. The returned slice
+// is shared with the spec: callers must not modify it, and it goes stale
+// if the spec is mutated afterwards. Evaluation hot paths (the compiled
+// policy engine) use it to avoid the per-lookup allocation Values makes.
+func (s *Spec) Ref(attr string) []string {
+	return s.attrs[strings.ToLower(attr)]
+}
+
+// RefLower is Ref for an attribute name the caller guarantees is
+// already lower case, skipping the case fold — the compiled policy
+// engine's per-clause lookup. The sharing caveats of Ref apply.
+func (s *Spec) RefLower(attr string) []string {
+	return s.attrs[attr]
+}
+
 // Attributes returns the sorted attribute names present in the spec.
 func (s *Spec) Attributes() []string {
 	names := make([]string, 0, len(s.attrs))

@@ -189,6 +189,156 @@ func SyntheticPolicy(users []User, nStatements, setsPerStatement, clausesPerSet 
 	return policy.ParseString(sb.String(), "synthetic")
 }
 
+// --- P12: compiled-engine scaling shapes (docs/PERFORMANCE.md) ---
+//
+// The P12 sweep drives policy.Compile at 1k-1M rules. At those sizes
+// rendering and re-parsing policy text would dominate benchmark setup,
+// so these generators build the statement structs directly; the result
+// is exactly what policy.Parse would produce for the equivalent text.
+//
+// Every grant accepts the shared executable "app" alongside a
+// per-statement distinct one, so one P12Spec/P12Request permits under
+// any statement while the policy still carries n distinct interned
+// symbols — the worst case for compile-time interning, the common case
+// ("small spec, huge policy") for evaluation.
+
+// P12OrgPrefix is the identity prefix shared by all P12 subjects; a
+// wildcard requirement (queue != fast) is attached to it in every shape
+// so each decision also exercises the requirement-merge path.
+const P12OrgPrefix = "/O=Grid/OU=P12"
+
+func p12Rel(attr string, op rsl.Op, vals ...string) *rsl.Relation {
+	r := &rsl.Relation{Attribute: attr, Op: op}
+	for _, v := range vals {
+		r.Values = append(r.Values, rsl.Lit(v))
+	}
+	return r
+}
+
+func p12Grant(exe string) *policy.AssertionSet {
+	return &policy.AssertionSet{Clauses: []*rsl.Relation{
+		p12Rel(policy.AttrAction, rsl.OpEq, policy.ActionStart),
+		p12Rel("executable", rsl.OpEq, "app", exe),
+		p12Rel("count", rsl.OpLe, "8"),
+	}}
+}
+
+func p12SiteCap() *policy.Statement {
+	return &policy.Statement{
+		Subject: gsi.DN(P12OrgPrefix),
+		Sets: []*policy.AssertionSet{{Clauses: []*rsl.Relation{
+			p12Rel("queue", rsl.OpNeq, "fast"),
+		}}},
+	}
+}
+
+// P12User is the exact subject of per-user statement i.
+func P12User(i int) gsi.DN {
+	return gsi.DN(fmt.Sprintf("%s/CN=User %08d", P12OrgPrefix, i))
+}
+
+// ExactHeavyPolicy builds n statements: one group-wide requirement plus
+// n-1 per-user grants, each under a distinct exact subject. Decisions
+// for the users resolve through the exact-subject bucket.
+func ExactHeavyPolicy(n int) *policy.Policy {
+	stmts := make([]*policy.Statement, 0, n)
+	stmts = append(stmts, p12SiteCap())
+	for i := 1; i < n; i++ {
+		stmts = append(stmts, &policy.Statement{
+			Subject: P12User(i),
+			Sets:    []*policy.AssertionSet{p12Grant(fmt.Sprintf("exe%07d", i))},
+		})
+	}
+	return &policy.Policy{Source: "P12:exact", Statements: stmts}
+}
+
+// p12Site is the subject of prefix-heavy statement i: every eighth
+// statement is a site, the rest are teams nested under the most recent
+// site, so prefix resolution walks a real parent chain.
+func p12Site(i int) gsi.DN {
+	site := gsi.DN(fmt.Sprintf("%s/OU=Site %07d", P12OrgPrefix, i/8))
+	if i%8 == 0 {
+		return site
+	}
+	return site + gsi.DN(fmt.Sprintf("/OU=Team %d", i%8))
+}
+
+// PrefixHeavyPolicy builds n statements whose subjects are all group
+// prefixes (sites and teams); no request identity ever equals a subject
+// exactly, so every decision takes the sorted-prefix search path.
+func PrefixHeavyPolicy(n int) *policy.Policy {
+	stmts := make([]*policy.Statement, 0, n)
+	stmts = append(stmts, p12SiteCap())
+	for i := 1; i < n; i++ {
+		stmts = append(stmts, &policy.Statement{
+			Subject: p12Site(i),
+			Sets:    []*policy.AssertionSet{p12Grant(fmt.Sprintf("svc%07d", i))},
+		})
+	}
+	return &policy.Policy{Source: "P12:prefix", Statements: stmts}
+}
+
+// RequirementHeavyPolicy builds n per-user statements each carrying two
+// requirement sets (one wildcard, one action-scoped) ahead of its
+// grant, so every decision merges requirements before any grant can
+// fire.
+func RequirementHeavyPolicy(n int) *policy.Policy {
+	stmts := make([]*policy.Statement, 0, n)
+	stmts = append(stmts, p12SiteCap())
+	for i := 1; i < n; i++ {
+		stmts = append(stmts, &policy.Statement{
+			Subject: P12User(i),
+			Sets: []*policy.AssertionSet{
+				{Clauses: []*rsl.Relation{
+					p12Rel("maxtime", rsl.OpLe, "60"),
+				}},
+				{Clauses: []*rsl.Relation{
+					p12Rel(policy.AttrAction, rsl.OpEq, policy.ActionStart),
+					p12Rel("jobtag", rsl.OpNeq, policy.ValueNull),
+				}},
+				p12Grant(fmt.Sprintf("rexe%07d", i)),
+			},
+		})
+	}
+	return &policy.Policy{Source: "P12:req", Statements: stmts}
+}
+
+// P12Spec is the shared job description every P12 request carries: it
+// satisfies the grants ("app", count cap), the jobtag-required and
+// maxtime requirements, and stays clear of the queue restriction.
+func P12Spec() *rsl.Spec {
+	return rsl.NewSpec().
+		Set("executable", "app").
+		Set("jobtag", "P12").
+		Set("count", "2").
+		Set("maxtime", "30")
+}
+
+// P12Requests returns m permit-path start requests spread uniformly
+// over the n-1 per-user (or per-group) subjects of a P12 policy with n
+// statements. All requests share one spec: evaluation never mutates it.
+func P12Requests(pol *policy.Policy, m int) []policy.Request {
+	spec := P12Spec()
+	n := len(pol.Statements)
+	reqs := make([]policy.Request, m)
+	for i := range reqs {
+		// Uniform spread over statements 1..n-1 (0 is the site cap).
+		st := pol.Statements[1+i*(n-1)/m]
+		subject := st.Subject
+		if pol.Source == "P12:prefix" {
+			// Group subjects: extend with a member CN so resolution
+			// must run the prefix search, never the exact bucket.
+			subject += gsi.DN(fmt.Sprintf("/CN=User %d", i))
+		}
+		reqs[i] = policy.Request{
+			Subject: subject,
+			Action:  policy.ActionStart,
+			Spec:    spec,
+		}
+	}
+	return reqs
+}
+
 // SyntheticRSL builds a job description with nAttrs attributes, for the
 // P3 parse-throughput sweep.
 func SyntheticRSL(nAttrs int) string {

@@ -160,3 +160,52 @@ func TestSyntheticRSLParses(t *testing.T) {
 		}
 	}
 }
+
+// Every P12 shape must (a) evaluate identically compiled and
+// interpreted, (b) permit on each generated request — the sweep times
+// the permit path, a silent deny would benchmark the wrong code — and
+// (c) resolve through the intended subject machinery (exact bucket vs
+// prefix search).
+func TestP12Shapes(t *testing.T) {
+	shapes := []struct {
+		name string
+		gen  func(int) *policy.Policy
+	}{
+		{"exact", ExactHeavyPolicy},
+		{"prefix", PrefixHeavyPolicy},
+		{"req", RequirementHeavyPolicy},
+	}
+	for _, sh := range shapes {
+		pol := sh.gen(64)
+		if got := len(pol.Statements); got != 64 {
+			t.Fatalf("%s: statements = %d, want 64", sh.name, got)
+		}
+		c := policy.Compile(pol)
+		for i, r := range P12Requests(pol, 96) {
+			req := &r
+			lin, com := pol.Evaluate(req), c.Evaluate(req)
+			if lin != com {
+				t.Fatalf("%s request %d: interpreted %+v != compiled %+v", sh.name, i, lin, com)
+			}
+			if !com.Allowed {
+				t.Errorf("%s request %d (%s): not permitted: %s", sh.name, i, r.Subject, com.Reason)
+			}
+		}
+	}
+	// Round-tripping through the text form proves the struct builders
+	// produce what policy.Parse would.
+	for _, sh := range shapes {
+		pol := sh.gen(8)
+		reparsed, err := policy.ParseString(pol.Unparse(), pol.Source)
+		if err != nil {
+			t.Fatalf("%s: reparse: %v", sh.name, err)
+		}
+		c := policy.Compile(reparsed)
+		for i, r := range P12Requests(pol, 7) {
+			req := &r
+			if lin, com := pol.Evaluate(req), c.Evaluate(req); lin != com {
+				t.Fatalf("%s request %d: struct-built %+v != reparsed %+v", sh.name, i, lin, com)
+			}
+		}
+	}
+}
