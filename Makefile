@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race lint fuzz-smoke bench bench-obs bench-audit bench-policy conformance verify-audit check
+.PHONY: build test race lint fuzz-smoke bench bench-obs bench-audit bench-policy conformance cluster-soak verify-audit check
 
 build:
 	$(GO) build ./...
@@ -34,6 +34,13 @@ bench:
 # same run CI's conformance job does.
 conformance:
 	$(GO) test -race -run 'TestConformance' -v .
+
+# The federated-cluster chaos soak (docs/CLUSTER.md): three nodes, one
+# resource, node kills, a publisher partition and a mid-traffic policy
+# revocation under the race detector — the same run CI's cluster-soak
+# job does.
+cluster-soak:
+	$(GO) test -race -timeout 120s -run 'TestClusterSoak' -v .
 
 # Machine-readable observability benchmark series (P5/P7/P10).
 bench-obs:

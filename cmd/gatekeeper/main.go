@@ -20,6 +20,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -35,6 +36,7 @@ import (
 
 	"gridauth/internal/accounts"
 	"gridauth/internal/audit"
+	clusterpkg "gridauth/internal/cluster"
 	"gridauth/internal/core"
 	"gridauth/internal/gram"
 	"gridauth/internal/gridmap"
@@ -74,6 +76,9 @@ func run(args []string) error {
 	breakerThreshold := fs.Int("breaker-threshold", 0, "consecutive failures before the breaker opens (0 = default 5)")
 	breakerCooldown := fs.Duration("breaker-cooldown", 0, "open-breaker cooldown before a half-open probe (0 = default 5s)")
 	ticketLifetime := fs.Duration("ticket-lifetime", 0, "GSI session resumption ticket lifetime (0 = default 10m, negative disables resumption)")
+	clusterPublish := fs.String("cluster-publish", "", "serve cluster replication (policy epochs + ticket secrets) to follower nodes on this address (leader role, docs/CLUSTER.md)")
+	clusterFollow := fs.String("cluster-follow", "", "replicate policy and ticket secrets from the cluster publisher at this address (follower role)")
+	clusterMaxStaleness := fs.Duration("cluster-max-staleness", 0, "refuse to decide once the publisher has been silent this long (0 = default 15s; follower role)")
 	connWorkers := fs.Int("conn-workers", 0, "max concurrent requests per multiplexed connection (0 = default 8)")
 	handshakeTimeout := fs.Duration("handshake-timeout", 0, "GSI handshake deadline on accepted connections (0 = default 10s, negative disables)")
 	idleTimeout := fs.Duration("idle-timeout", 0, "idle connection timeout (0 = default 5m, negative disables)")
@@ -92,6 +97,9 @@ func run(args []string) error {
 	}
 	if *pprofEnabled && *metricsAddr == "" {
 		return fmt.Errorf("-pprof requires -metrics-addr")
+	}
+	if *clusterPublish != "" && *clusterFollow != "" {
+		return fmt.Errorf("-cluster-publish and -cluster-follow are mutually exclusive: a node is either the leader or a follower")
 	}
 
 	// Observability is a unit: -metrics-addr turns on both the metric
@@ -179,8 +187,8 @@ func run(args []string) error {
 				return err
 			}
 		}
-		if !reg.Configured(core.CalloutJobManager) && !reg.Configured(core.CalloutGatekeeper) {
-			return fmt.Errorf("callout mode needs -vo-policy, -local-policy or -callout-config")
+		if !reg.Configured(core.CalloutJobManager) && !reg.Configured(core.CalloutGatekeeper) && *clusterFollow == "" {
+			return fmt.Errorf("callout mode needs -vo-policy, -local-policy, -callout-config or -cluster-follow")
 		}
 		// The resilience wrapper has to be installed whether the knobs
 		// arrive via flags or via a -callout-config "options" line; it is
@@ -240,6 +248,71 @@ func run(args []string) error {
 		gkPlacement = gram.PlacementGatekeeper
 	}
 
+	// Cluster federation (docs/CLUSTER.md): the leader publishes its
+	// policy files and ticket secret as replicated epochs; a follower
+	// replaces file-based policy with replicated stores guarded by a
+	// staleness bound, and redeems any cluster node's session tickets.
+	var ticketRing *gsi.SecretRing
+	if *clusterPublish != "" {
+		ring, err := gsi.NewSecretRing(gsi.DefaultSecretOverlap)
+		if err != nil {
+			return err
+		}
+		ticketRing = ring
+		pub := clusterpkg.NewPublisher(clusterpkg.PublisherConfig{Metrics: metrics})
+		for _, src := range []struct{ source, path string }{{"VO", *voPolicy}, {"local", *localPolicy}} {
+			if src.path == "" {
+				continue
+			}
+			text, err := os.ReadFile(src.path)
+			if err != nil {
+				return err
+			}
+			if _, err := pub.SetPolicy(src.source, string(text)); err != nil {
+				return err
+			}
+		}
+		if cur, ok := ring.Current(); ok {
+			pub.ShareSecret(cur)
+		}
+		pl, err := net.Listen("tcp", *clusterPublish)
+		if err != nil {
+			return err
+		}
+		go func() { _ = pub.Serve(pl) }()
+		defer pub.Close()
+		log.Printf("gatekeeper: cluster leader publishing on %s (epoch %d)", pl.Addr(), pub.Epoch())
+	}
+	if *clusterFollow != "" {
+		ticketRing = gsi.NewFollowerSecretRing(gsi.DefaultSecretOverlap)
+		follower := clusterpkg.NewFollower(clusterpkg.FollowerConfig{
+			Addr:    *clusterFollow,
+			Sources: []string{"VO", "local"},
+			Ring:    ticketRing,
+			Metrics: metrics,
+		})
+		if gkMode == gram.AuthzCallout {
+			guard := &clusterpkg.StalenessGuard{
+				Follower:     follower,
+				MaxStaleness: *clusterMaxStaleness,
+				Metrics:      metrics,
+			}
+			for _, t := range []string{core.CalloutJobManager, core.CalloutGatekeeper} {
+				reg.Bind(t, guard)
+				for _, src := range []string{"VO", "local"} {
+					reg.Bind(t, &core.StorePDP{Store: follower.Store(src)})
+				}
+			}
+			for _, src := range []string{"VO", "local"} {
+				follower.Store(src).OnChange(reg.InvalidateCaches)
+			}
+		}
+		followCtx, stopFollow := context.WithCancel(context.Background())
+		go func() { _ = follower.Run(followCtx) }()
+		defer stopFollow()
+		log.Printf("gatekeeper: cluster follower syncing from %s", *clusterFollow)
+	}
+
 	cluster := jobcontrol.NewCluster(*cpus)
 	gk, err := gram.NewGatekeeper(gram.Config{
 		Credential:       gkCred,
@@ -252,6 +325,7 @@ func run(args []string) error {
 		Placement:        gkPlacement,
 		Cluster:          cluster,
 		TicketLifetime:   *ticketLifetime,
+		TicketRing:       ticketRing,
 		ConnWorkers:      *connWorkers,
 		HandshakeTimeout: *handshakeTimeout,
 		IdleTimeout:      *idleTimeout,

@@ -136,9 +136,17 @@ type ResourceConfig struct {
 	GridMap map[gsi.DN][]string
 	// VOPolicy and LocalPolicy are policy texts in the paper's language;
 	// both empty in callout mode is an error (nothing could ever be
-	// permitted).
+	// permitted) unless PolicyStores, ExtraPDPs or VOs supply policy.
 	VOPolicy    string
 	LocalPolicy string
+	// PolicyStores binds runtime-mutable policy stores into the callout
+	// chain (core.StorePDP), one per administrative source. Each
+	// store's OnChange hook is wired to decision-cache invalidation, so
+	// whoever replaces the store's policy — a local reloader or a
+	// cluster.Follower applying a replicated snapshot (docs/CLUSTER.md)
+	// — is enforced on the very next request. A non-empty list counts
+	// as a policy source for callout-mode validation.
+	PolicyStores []*policy.Store
 	// VOs whose attribute assertions the resource accepts. For each VO a
 	// membership PDP (assertion + jobtag entitlement check) is added to
 	// the callout chain.
@@ -228,6 +236,24 @@ type ResourceConfig struct {
 	// the gatekeeper issues after full handshakes (0 selects
 	// gsi.DefaultTicketLifetime; negative disables resumption).
 	SessionTicketLifetime time.Duration
+	// SessionTicketRing, when set, seals and redeems resumption tickets
+	// with this (typically cluster-replicated) secret ring instead of a
+	// process-private random secret, so a session ticket granted by one
+	// federated node resumes on any node sharing the ring
+	// (docs/CLUSTER.md).
+	SessionTicketRing *gsi.SecretRing
+	// Addr is the gatekeeper listen address (default "127.0.0.1:0").
+	// Cluster nodes pin a stable address so a node restarted in place
+	// keeps its slot in clients' failover lists.
+	Addr string
+	// SharedJobs and SharedCluster federate several resources into ONE:
+	// every gatekeeper node of a cluster deployment is started with the
+	// same gram.JobTable and the same jobcontrol.Cluster, so a job
+	// submitted through any node can be managed through any other after
+	// a failover. Nil gives the resource private instances (the normal
+	// single-node case).
+	SharedJobs    *gram.JobTable
+	SharedCluster *jobcontrol.Cluster
 	// ConnWorkers bounds concurrent request processing per multiplexed
 	// client connection (0 selects 8).
 	ConnWorkers int
@@ -275,7 +301,8 @@ func (f *Fabric) StartResource(cfg ResourceConfig) (*Resource, error) {
 	if cfg.Placement == 0 {
 		cfg.Placement = PlacementJobManager
 	}
-	if cfg.Mode == ModeCallout && cfg.VOPolicy == "" && cfg.LocalPolicy == "" && len(cfg.ExtraPDPs) == 0 {
+	if cfg.Mode == ModeCallout && cfg.VOPolicy == "" && cfg.LocalPolicy == "" &&
+		len(cfg.ExtraPDPs) == 0 && len(cfg.PolicyStores) == 0 {
 		return nil, errors.New("gridauth: callout mode without any policy source would deny everything")
 	}
 
@@ -320,6 +347,13 @@ func (f *Fabric) StartResource(cfg ResourceConfig) (*Resource, error) {
 			return nil, fmt.Errorf("gridauth: local policy: %w", err)
 		}
 		pdps = append(pdps, &core.PolicyPDP{Policy: pol})
+	}
+	for _, st := range cfg.PolicyStores {
+		pdps = append(pdps, &core.StorePDP{Store: st})
+		// A store swap — local reload or cluster replication — must be
+		// enforced on the very next request even when decisions are
+		// cached, exactly like a VO mutation below.
+		st.OnChange(reg.InvalidateCaches)
 	}
 	var voCerts []*gsi.Certificate
 	for _, v := range cfg.VOs {
@@ -377,7 +411,10 @@ func (f *Fabric) StartResource(cfg ResourceConfig) (*Resource, error) {
 		v.OnChange(reg.InvalidateCaches)
 	}
 
-	cluster := jobcontrol.NewCluster(cfg.CPUs)
+	cluster := cfg.SharedCluster
+	if cluster == nil {
+		cluster = jobcontrol.NewCluster(cfg.CPUs)
+	}
 	var monitor *sandbox.Monitor
 	if cfg.Sandbox {
 		monitor = sandbox.NewMonitor(cluster, true)
@@ -405,6 +442,8 @@ func (f *Fabric) StartResource(cfg ResourceConfig) (*Resource, error) {
 		DefaultPriority:  cfg.DefaultPriority,
 		TamperJMI:        cfg.TamperJMI,
 		TicketLifetime:   cfg.SessionTicketLifetime,
+		TicketRing:       cfg.SessionTicketRing,
+		Jobs:             cfg.SharedJobs,
 		ConnWorkers:      cfg.ConnWorkers,
 		HandshakeTimeout: cfg.HandshakeTimeout,
 		IdleTimeout:      cfg.IdleTimeout,
@@ -421,7 +460,11 @@ func (f *Fabric) StartResource(cfg ResourceConfig) (*Resource, error) {
 	if err != nil {
 		return nil, err
 	}
-	l, err := net.Listen("tcp", "127.0.0.1:0")
+	listenAddr := cfg.Addr
+	if listenAddr == "" {
+		listenAddr = "127.0.0.1:0"
+	}
+	l, err := net.Listen("tcp", listenAddr)
 	if err != nil {
 		return nil, fmt.Errorf("gridauth: listen: %w", err)
 	}

@@ -8,6 +8,7 @@ import (
 	"gridauth/internal/analysis/auditdeny"
 	"gridauth/internal/analysis/ctxprop"
 	"gridauth/internal/analysis/decisionswitch"
+	"gridauth/internal/analysis/epochuse"
 	"gridauth/internal/analysis/locksafe"
 	"gridauth/internal/analysis/pdpcap"
 )
@@ -18,6 +19,7 @@ func All() []*analysis.Analyzer {
 		auditdeny.Analyzer,
 		ctxprop.Analyzer,
 		decisionswitch.Analyzer,
+		epochuse.Analyzer,
 		locksafe.Analyzer,
 		pdpcap.Analyzer,
 	}

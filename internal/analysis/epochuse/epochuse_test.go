@@ -1,0 +1,14 @@
+package epochuse_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"gridauth/internal/analysis/analysistest"
+	"gridauth/internal/analysis/epochuse"
+)
+
+func TestEpochUse(t *testing.T) {
+	analysistest.Run(t, filepath.Join("..", "testdata", "src"), epochuse.Analyzer,
+		"epochuse", "epochuse_other")
+}

@@ -1,0 +1,40 @@
+// Fixture for the epochuse analyzer: cluster-layer reads of a
+// replicated policy store must capture the epoch they decided at.
+package cluster
+
+import "policy"
+
+// torn reads the policy with no epoch anywhere in the function.
+func torn(s *policy.Store) *policy.Policy {
+	return s.Current() // want `reads a replicated policy snapshot \(Store\.Current\) without capturing its epoch`
+}
+
+// tornCompiled reads the compiled form the same anonymous way.
+func tornCompiled(s *policy.Store) *policy.Compiled {
+	c := s.Compiled() // want `reads a replicated policy snapshot \(Store\.Compiled\) without capturing its epoch`
+	return c
+}
+
+// tornInClosure hides the read inside a function literal; the
+// enclosing declaration still never captures an epoch.
+func tornInClosure(s *policy.Store) func() *policy.Policy {
+	return func() *policy.Policy {
+		return s.Current() // want `Store\.Current\) without capturing its epoch`
+	}
+}
+
+// atomicRead uses the sanctioned accessor: no finding.
+func atomicRead(s *policy.Store) (*policy.Compiled, uint64) {
+	_, c, epoch := s.Snapshot()
+	return c, epoch
+}
+
+// correlated records Epoch alongside the read: accepted.
+func correlated(s *policy.Store) (*policy.Policy, uint64) {
+	return s.Current(), s.Epoch()
+}
+
+// waived carries an audited suppression with a reason.
+func waived(s *policy.Store) *policy.Policy {
+	return s.Current() //authlint:ignore epochuse fixture demonstrating an audited waiver with a recorded reason
+}

@@ -1,0 +1,8 @@
+// Fixture: the epochuse analyzer is scoped to cluster-layer packages.
+// A package with any other name reading Current without an epoch is
+// out of scope and produces no findings.
+package syncer
+
+import "policy"
+
+func plainRead(s *policy.Store) *policy.Policy { return s.Current() }

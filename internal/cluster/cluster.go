@@ -1,0 +1,73 @@
+// Package cluster federates multiple gatekeeper nodes fronting one
+// resource into a single authorization domain (docs/CLUSTER.md).
+//
+// The paper's architecture places the fine-grain policy beside the
+// resource; a production deployment runs SEVERAL gatekeeper processes
+// for availability, and all of them must enforce the SAME policy at
+// (bounded-staleness) the same version. This package supplies the three
+// replication primitives that make that true:
+//
+//   - a Publisher on the leader/seed node that assigns a monotonically
+//     increasing CLUSTER EPOCH to every policy or ticket-secret change
+//     and pushes full-state snapshots to subscribed followers;
+//   - a Follower per replica node that applies snapshots atomically
+//     through policy.Store's lock-free snapshot swap (firing OnChange so
+//     decision-cache invalidation crosses process boundaries) and
+//     installs shared GSI ticket secrets into the node's SecretRing so
+//     session resumption survives failover;
+//   - a StalenessGuard PDP that lets a partitioned follower keep serving
+//     stale-bounded decisions up to a configured staleness bound and
+//     then FAIL CLOSED (an Error decision, which the PEP maps to the
+//     degraded-mode codes of docs/ARCHITECTURE.md: fail-closed for job
+//     startup, retryable for management).
+//
+// The wire protocol is deliberately minimal: newline-delimited JSON
+// State messages over TCP, full state every time. Snapshots are
+// idempotent — a follower ignores any state whose epoch is not newer
+// than what it already applied — so redelivery, reconnection and
+// heartbeats (which resend the current state as a liveness signal) need
+// no special casing.
+package cluster
+
+import "gridauth/internal/gsi"
+
+// PolicyText is one administrative source's policy in transportable
+// form: the text is re-parsed and re-compiled on each follower, so
+// nodes never exchange compiled artifacts.
+type PolicyText struct {
+	Source string `json:"source"`
+	Text   string `json:"text"`
+}
+
+// State is the full replicated state of the cluster at one epoch. The
+// publisher always ships the complete state rather than deltas: at the
+// sizes policies and secret rings reach, losing delta bookkeeping (and
+// its resync bugs) is worth far more than the bytes.
+type State struct {
+	// Epoch orders states: a follower applies a state only if its epoch
+	// exceeds everything it has applied. Epoch 0 is the empty pre-seed
+	// state and is never applied (but still refreshes liveness).
+	Epoch uint64 `json:"epoch"`
+	// Policies carries every administrative source's current policy.
+	Policies []PolicyText `json:"policies,omitempty"`
+	// Secrets is the live GSI ticket-secret set (current and
+	// still-overlapping old versions), so any node can redeem any
+	// node's resumption tickets.
+	Secrets []gsi.SecretVersion `json:"secrets,omitempty"`
+}
+
+// clone deep-copies a state so snapshots handed to subscribers are
+// immune to later mutation under the publisher's lock.
+func (s State) clone() State {
+	out := State{Epoch: s.Epoch}
+	if len(s.Policies) > 0 {
+		out.Policies = append([]PolicyText(nil), s.Policies...)
+	}
+	for _, v := range s.Secrets {
+		out.Secrets = append(out.Secrets, gsi.SecretVersion{
+			ID:  v.ID,
+			Key: append([]byte(nil), v.Key...),
+		})
+	}
+	return out
+}

@@ -1,0 +1,371 @@
+package cluster
+
+import (
+	"context"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"gridauth/internal/core"
+	"gridauth/internal/gsi"
+	"gridauth/internal/obs"
+	"gridauth/internal/resilience"
+	"gridauth/internal/rsl"
+)
+
+const voSource = "VO:NFC"
+
+const permitKate = `
+/O=Grid/O=Globus/OU=mcs.anl.gov/CN=Kate Keahey: &(action = start)(jobtag = NFC)
+`
+
+const denyAll = `
+`
+
+// fastRetry keeps reconnect loops snappy in tests.
+var fastRetry = resilience.Policy{Attempts: 3, BaseDelay: 2 * time.Millisecond, MaxDelay: 10 * time.Millisecond}
+
+// startPublisher serves a publisher on a loopback listener.
+func startPublisher(t *testing.T, cfg PublisherConfig) (*Publisher, string) {
+	t.Helper()
+	p := NewPublisher(cfg)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = p.Serve(l) }()
+	t.Cleanup(p.Close)
+	return p, l.Addr().String()
+}
+
+// runFollower starts a follower's sync loop under a cancellable ctx.
+func runFollower(t *testing.T, f *Follower) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = f.Run(ctx)
+	}()
+	t.Cleanup(func() {
+		cancel()
+		<-done
+	})
+}
+
+// waitFor polls until cond holds or the deadline passes.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func TestReplicationReachesFollowerAndInvalidatesCaches(t *testing.T) {
+	pub, addr := startPublisher(t, PublisherConfig{Heartbeat: 20 * time.Millisecond})
+
+	m := obs.NewMetrics()
+	f := NewFollower(FollowerConfig{
+		Addr:    addr,
+		Sources: []string{voSource},
+		Retry:   fastRetry,
+		Metrics: m,
+	})
+
+	// The node's wiring: the replicated store backs a PDP, and OnChange
+	// crosses into cache invalidation — exactly like a local edit.
+	store := f.Store(voSource)
+	pdp := &core.StorePDP{Store: store}
+	var invalidations int
+	var invMu sync.Mutex
+	store.OnChange(func() {
+		invMu.Lock()
+		invalidations++
+		invMu.Unlock()
+	})
+
+	runFollower(t, f)
+
+	spec, err := rsl.ParseSpec(`&(executable=TRANSP)(jobtag=NFC)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := &core.Request{
+		Subject: "/O=Grid/O=Globus/OU=mcs.anl.gov/CN=Kate Keahey",
+		Action:  "start",
+		Spec:    spec,
+	}
+
+	// Before any publish the pre-seeded store is empty: abstain.
+	if d := pdp.Authorize(req); d.Effect != core.NotApplicable {
+		t.Fatalf("pre-sync effect = %v, want abstain", d.Effect)
+	}
+
+	epoch, err := pub.SetPolicy(voSource, permitKate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "follower to apply the permit policy", func() bool {
+		return f.Epoch() >= epoch
+	})
+	if d := pdp.Authorize(req); d.Effect != core.Permit {
+		t.Fatalf("post-sync effect = %v, want permit", d.Effect)
+	}
+	invMu.Lock()
+	if invalidations == 0 {
+		t.Error("policy replication did not fire the store's OnChange hook")
+	}
+	invMu.Unlock()
+
+	// Flip to deny and confirm the change is enforced.
+	epoch2, err := pub.SetPolicy(voSource, denyAll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if epoch2 <= epoch {
+		t.Fatalf("epoch did not increase: %d then %d", epoch, epoch2)
+	}
+	waitFor(t, "follower to apply the deny policy", func() bool {
+		return f.Epoch() >= epoch2
+	})
+	if d := pdp.Authorize(req); d.Effect == core.Permit {
+		t.Fatal("superseded permit still served after replication")
+	}
+
+	if got := m.ClusterEpoch.Load(); uint64(got) != epoch2 {
+		t.Errorf("cluster_epoch = %d, want %d", got, epoch2)
+	}
+	if m.ClusterSnapshotsApplied.Load() < 2 {
+		t.Errorf("cluster_snapshots_applied_total = %d, want >= 2", m.ClusterSnapshotsApplied.Load())
+	}
+
+	// A bad policy is refused at the leader, before it can reach anyone.
+	if _, err := pub.SetPolicy(voSource, "/O=Grid: &(action"); err == nil {
+		t.Error("publisher accepted an unparsable policy")
+	}
+}
+
+func TestSecretReplicationEnablesCrossNodeRedeem(t *testing.T) {
+	pub, addr := startPublisher(t, PublisherConfig{Heartbeat: 20 * time.Millisecond})
+
+	leaderRing, err := gsi.NewSecretRing(time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	followerRing := gsi.NewFollowerSecretRing(time.Minute)
+	f := NewFollower(FollowerConfig{Addr: addr, Ring: followerRing, Retry: fastRetry})
+	runFollower(t, f)
+
+	cur, ok := leaderRing.Current()
+	if !ok {
+		t.Fatal("leader ring empty")
+	}
+	epoch := pub.ShareSecret(cur)
+	waitFor(t, "secret to replicate", func() bool { return f.Epoch() >= epoch })
+
+	got, ok := followerRing.Current()
+	if !ok {
+		t.Fatal("follower ring still empty after replication")
+	}
+	if got.ID != cur.ID || string(got.Key) != string(cur.Key) {
+		t.Fatal("replicated secret differs from the leader's")
+	}
+
+	// Rotation: share the new version; the follower ring keeps the old
+	// one redeemable for its overlap window (ring semantics, tested in
+	// gsi) and adopts the new current.
+	next, err := leaderRing.Rotate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	epoch = pub.ShareSecret(next)
+	waitFor(t, "rotated secret to replicate", func() bool { return f.Epoch() >= epoch })
+	if got, _ := followerRing.Current(); got.ID != next.ID {
+		t.Fatalf("follower current secret = v%d, want v%d", got.ID, next.ID)
+	}
+}
+
+func TestFollowerReconnectsAfterPublisherRestart(t *testing.T) {
+	m := obs.NewMetrics()
+	pub, addr := startPublisher(t, PublisherConfig{Heartbeat: 10 * time.Millisecond})
+	if _, err := pub.SetPolicy(voSource, permitKate); err != nil {
+		t.Fatal(err)
+	}
+
+	f := NewFollower(FollowerConfig{Addr: addr, Sources: []string{voSource}, Retry: fastRetry, Metrics: m})
+	runFollower(t, f)
+	if err := f.WaitReady(ctxWithTimeout(t)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill the publisher; the follower's stream breaks and sync
+	// failures start counting.
+	pub.Close()
+	waitFor(t, "sync failures after publisher death", func() bool {
+		return m.ClusterSyncFailures.Load() > 0
+	})
+
+	// Resurrect a publisher ON THE SAME ADDRESS with newer state (epoch
+	// counters survive Close, as a restarted leader's would via its
+	// policy files): the follower reconnects and catches up by itself.
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = pub2Serve(pub, l) }()
+	epoch, err := pub.SetPolicy(voSource, denyAll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "follower to catch up after restart", func() bool {
+		return f.Epoch() >= epoch
+	})
+}
+
+// pub2Serve re-serves a closed publisher's state on a fresh publisher —
+// Close is terminal for the serving side, so a restarted leader is a
+// NEW publisher seeded with the old state and a higher epoch.
+func pub2Serve(old *Publisher, l net.Listener) error {
+	p := NewPublisher(PublisherConfig{Heartbeat: 10 * time.Millisecond})
+	st := old.State()
+	p.mu.Lock()
+	p.state = st.clone()
+	p.mu.Unlock()
+	// Mirror future changes made through the old handle (test
+	// convenience: the test keeps calling old.SetPolicy).
+	go func() {
+		last := st.Epoch
+		for {
+			time.Sleep(2 * time.Millisecond)
+			cur := old.State()
+			if cur.Epoch > last {
+				last = cur.Epoch
+				p.mu.Lock()
+				p.state = cur.clone()
+				p.broadcastLocked()
+				p.mu.Unlock()
+			}
+		}
+	}()
+	return p.Serve(l)
+}
+
+func ctxWithTimeout(t *testing.T) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	t.Cleanup(cancel)
+	return ctx
+}
+
+func TestStalenessGuardFailsClosedWhenPartitioned(t *testing.T) {
+	pub, addr := startPublisher(t, PublisherConfig{Heartbeat: 10 * time.Millisecond})
+	if _, err := pub.SetPolicy(voSource, permitKate); err != nil {
+		t.Fatal(err)
+	}
+
+	// A virtual clock drives staleness so the test never sleeps past
+	// real bounds: the follower stamps contacts with it and the guard
+	// measures against it.
+	var clockMu sync.Mutex
+	base := time.Now()
+	offset := time.Duration(0)
+	now := func() time.Time {
+		clockMu.Lock()
+		defer clockMu.Unlock()
+		return base.Add(offset)
+	}
+	advance := func(d time.Duration) {
+		clockMu.Lock()
+		offset += d
+		clockMu.Unlock()
+	}
+
+	m := obs.NewMetrics()
+	f := NewFollower(FollowerConfig{
+		Addr:    addr,
+		Sources: []string{voSource},
+		Retry:   fastRetry,
+		Metrics: m,
+		Now:     now,
+	})
+	guard := &StalenessGuard{Follower: f, MaxStaleness: 500 * time.Millisecond, Metrics: m}
+	req := &core.Request{Subject: "/O=Grid/CN=anyone", Action: "start"}
+
+	// Before the first sync the guard refuses outright: a node that has
+	// never seen the cluster must not decide.
+	if d := guard.Authorize(req); d.Effect != core.Error {
+		t.Fatalf("never-synced effect = %v, want error", d.Effect)
+	}
+	if m.ClusterStaleRefusals.Load() != 1 {
+		t.Fatalf("cluster_stale_refusals_total = %d, want 1", m.ClusterStaleRefusals.Load())
+	}
+
+	runFollower(t, f)
+	if err := f.WaitReady(ctxWithTimeout(t)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Fresh replica: abstain, and the reason pins the epoch it decided
+	// at (the epochuse discipline made observable).
+	d := guard.Authorize(req)
+	if d.Effect != core.NotApplicable {
+		t.Fatalf("fresh effect = %v (%s), want abstain", d.Effect, d.Reason)
+	}
+
+	// Partition: kill the publisher, then advance the virtual clock
+	// past the bound. Real heartbeats have stopped, so lastContact
+	// freezes and staleness grows with the virtual clock.
+	pub.Close()
+	time.Sleep(30 * time.Millisecond) // let the last in-flight heartbeat land
+	advance(time.Second)
+	waitFor(t, "guard to trip", func() bool {
+		return guard.Authorize(req).Effect == core.Error
+	})
+	if got := m.ClusterStaleRefusals.Load(); got < 2 {
+		t.Errorf("cluster_stale_refusals_total = %d, want >= 2", got)
+	}
+}
+
+func TestApplyIgnoresStaleAndDuplicateEpochs(t *testing.T) {
+	f := NewFollower(FollowerConfig{Sources: []string{voSource}})
+	store := f.Store(voSource)
+
+	f.apply(&State{Epoch: 5, Policies: []PolicyText{{Source: voSource, Text: permitKate}}})
+	if f.Epoch() != 5 {
+		t.Fatalf("epoch = %d, want 5", f.Epoch())
+	}
+	_, _, storeEpoch := store.Snapshot()
+
+	// A redelivered (same-epoch) and an older state must change nothing
+	// — not even a store swap, which would needlessly invalidate
+	// caches.
+	f.apply(&State{Epoch: 5, Policies: []PolicyText{{Source: voSource, Text: denyAll}}})
+	f.apply(&State{Epoch: 3, Policies: []PolicyText{{Source: voSource, Text: denyAll}}})
+	if f.Epoch() != 5 {
+		t.Fatalf("epoch moved to %d on stale state", f.Epoch())
+	}
+	if _, _, e := store.Snapshot(); e != storeEpoch {
+		t.Fatal("stale state swapped the policy store")
+	}
+
+	// An unchanged policy text at a newer epoch advances the epoch but
+	// does NOT re-swap the store (no gratuitous cache invalidation).
+	f.apply(&State{Epoch: 6, Policies: []PolicyText{{Source: voSource, Text: permitKate}}})
+	if f.Epoch() != 6 {
+		t.Fatalf("epoch = %d, want 6", f.Epoch())
+	}
+	if _, _, e := store.Snapshot(); e != storeEpoch {
+		t.Fatal("unchanged policy text re-swapped the store")
+	}
+
+	// A source never pre-declared materializes on first delivery.
+	f.apply(&State{Epoch: 7, Policies: []PolicyText{{Source: "local", Text: permitKate}}})
+	if pol, _, _ := f.Store("local").Snapshot(); pol == nil || len(pol.Statements) == 0 {
+		t.Fatal("undeclared source not materialized")
+	}
+}

@@ -1,0 +1,267 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"gridauth/internal/gsi"
+	"gridauth/internal/obs"
+	"gridauth/internal/policy"
+)
+
+// DefaultHeartbeat is how often the publisher resends the current state
+// to each subscriber when nothing changes. Heartbeats are the
+// followers' liveness signal: a follower's staleness clock resets on
+// EVERY received state, so the staleness bound a deployment can enforce
+// is floored by this interval (see StalenessGuard).
+const DefaultHeartbeat = time.Second
+
+// PublisherConfig tunes a Publisher.
+type PublisherConfig struct {
+	// Heartbeat is the idle resend interval (0 selects
+	// DefaultHeartbeat).
+	Heartbeat time.Duration
+	// Metrics receives cluster_snapshots_published_total. Nil selects a
+	// private, unexported sink.
+	Metrics *obs.Metrics
+}
+
+// Publisher is the leader/seed side of cluster replication: the ONE
+// process where policy and ticket-secret changes enter the cluster. It
+// assigns each change the next cluster epoch and pushes the full state
+// to every subscribed follower, plus periodic heartbeats so followers
+// can bound their staleness.
+//
+// There is no election: the paper's deployment model has a distinguished
+// administrative host (where the VO and resource-owner policy files
+// live), and that host runs the publisher. If it dies, followers serve
+// their last state until the staleness bound expires, then fail closed
+// — no split brain is possible because nobody else can mint epochs.
+type Publisher struct {
+	heartbeat time.Duration
+	metrics   *obs.Metrics
+
+	mu        sync.Mutex
+	state     State
+	subs      map[chan State]struct{}
+	listeners map[net.Listener]struct{}
+	closed    chan struct{}
+	wg        sync.WaitGroup
+}
+
+// NewPublisher creates a publisher with empty state at epoch 0.
+func NewPublisher(cfg PublisherConfig) *Publisher {
+	if cfg.Heartbeat <= 0 {
+		cfg.Heartbeat = DefaultHeartbeat
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = obs.NewMetrics()
+	}
+	return &Publisher{
+		heartbeat: cfg.Heartbeat,
+		metrics:   cfg.Metrics,
+		subs:      make(map[chan State]struct{}),
+		listeners: make(map[net.Listener]struct{}),
+		closed:    make(chan struct{}),
+	}
+}
+
+// Epoch returns the last assigned cluster epoch (0 before any change).
+func (p *Publisher) Epoch() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.state.Epoch
+}
+
+// State returns a copy of the current replicated state.
+func (p *Publisher) State() State {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.state.clone()
+}
+
+// SetPolicy installs (or replaces) the policy text of one
+// administrative source, assigns the next epoch and broadcasts. The
+// text is parse-validated HERE, on the leader, so a syntax error never
+// reaches — let alone diverges — the followers.
+func (p *Publisher) SetPolicy(source, text string) (uint64, error) {
+	if _, err := policy.ParseString(text, source); err != nil {
+		return 0, fmt.Errorf("cluster: refusing to publish %s: %w", source, err)
+	}
+	p.mu.Lock()
+	replaced := false
+	for i := range p.state.Policies {
+		if p.state.Policies[i].Source == source {
+			p.state.Policies[i].Text = text
+			replaced = true
+			break
+		}
+	}
+	if !replaced {
+		p.state.Policies = append(p.state.Policies, PolicyText{Source: source, Text: text})
+	}
+	p.state.Epoch++
+	epoch := p.state.Epoch
+	p.broadcastLocked()
+	p.mu.Unlock()
+	return epoch, nil
+}
+
+// ShareSecret publishes one GSI ticket-secret version to the cluster
+// (typically the leader ring's current secret, re-shared after every
+// rotation). Followers Install it into their rings, so a resumption
+// ticket sealed by any node redeems on any node. Re-sharing an
+// already-known version still bumps the epoch — idempotence lives in
+// SecretRing.Install, not here.
+func (p *Publisher) ShareSecret(v gsi.SecretVersion) uint64 {
+	key := append([]byte(nil), v.Key...)
+	p.mu.Lock()
+	replaced := false
+	for i := range p.state.Secrets {
+		if p.state.Secrets[i].ID == v.ID {
+			p.state.Secrets[i].Key = key
+			replaced = true
+			break
+		}
+	}
+	if !replaced {
+		p.state.Secrets = append(p.state.Secrets, gsi.SecretVersion{ID: v.ID, Key: key})
+	}
+	p.state.Epoch++
+	epoch := p.state.Epoch
+	p.broadcastLocked()
+	p.mu.Unlock()
+	return epoch
+}
+
+// broadcastLocked hands the (just-mutated) state to every subscriber,
+// coalescing: a subscriber that has not yet drained its previous
+// delivery gets only the newest state. Caller holds p.mu.
+func (p *Publisher) broadcastLocked() {
+	st := p.state.clone()
+	for ch := range p.subs {
+		select {
+		case <-ch: // drop the superseded pending state
+		default:
+		}
+		select {
+		case ch <- st:
+		default:
+			// Unreachable: the channel has capacity 1, this (mu-held)
+			// loop is the only sender, and the drain above just emptied
+			// it — but a provably non-blocking send keeps the
+			// broadcast safe to run under p.mu.
+		}
+	}
+}
+
+// Serve accepts follower subscriptions on l until Close (returns nil)
+// or a listener error. A publisher may serve multiple listeners.
+func (p *Publisher) Serve(l net.Listener) error {
+	p.mu.Lock()
+	alreadyClosed := false
+	select {
+	case <-p.closed:
+		alreadyClosed = true
+	default:
+		p.listeners[l] = struct{}{}
+	}
+	p.mu.Unlock()
+	if alreadyClosed {
+		l.Close()
+		return nil
+	}
+	defer func() {
+		p.mu.Lock()
+		delete(p.listeners, l)
+		p.mu.Unlock()
+	}()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			select {
+			case <-p.closed:
+				return nil
+			default:
+				return err
+			}
+		}
+		p.wg.Add(1)
+		go p.serveConn(conn)
+	}
+}
+
+// serveConn streams states to one follower: the current state
+// immediately on subscribe, every change as it happens, and heartbeats
+// in between. Followers never write; a broken pipe is detected on the
+// next send (at most one heartbeat away).
+func (p *Publisher) serveConn(conn net.Conn) {
+	defer p.wg.Done()
+	defer conn.Close()
+
+	ch := make(chan State, 1)
+	p.mu.Lock()
+	cur := p.state.clone()
+	p.subs[ch] = struct{}{}
+	p.mu.Unlock()
+	defer func() {
+		p.mu.Lock()
+		delete(p.subs, ch)
+		p.mu.Unlock()
+	}()
+
+	enc := json.NewEncoder(conn)
+	if err := enc.Encode(cur); err != nil {
+		return
+	}
+	p.metrics.ClusterSnapshotsPublished.Inc()
+
+	tick := time.NewTicker(p.heartbeat)
+	defer tick.Stop()
+	for {
+		select {
+		case <-p.closed:
+			return
+		case st := <-ch:
+			if err := enc.Encode(st); err != nil {
+				return
+			}
+			p.metrics.ClusterSnapshotsPublished.Inc()
+		case <-tick.C:
+			p.mu.Lock()
+			cur := p.state.clone()
+			p.mu.Unlock()
+			// Heartbeats are liveness, not replication: they do not
+			// count toward cluster_snapshots_published_total.
+			if err := enc.Encode(cur); err != nil {
+				return
+			}
+		}
+	}
+}
+
+// Close stops serving: listeners close, subscriber streams terminate,
+// and Serve returns. The state (and epoch counter) survive, so a
+// publisher can be re-served after a listener swap.
+func (p *Publisher) Close() {
+	p.mu.Lock()
+	select {
+	case <-p.closed:
+		p.mu.Unlock()
+		return
+	default:
+	}
+	close(p.closed)
+	ls := make([]net.Listener, 0, len(p.listeners))
+	for l := range p.listeners {
+		ls = append(ls, l)
+	}
+	p.mu.Unlock()
+	for _, l := range ls {
+		_ = l.Close()
+	}
+	p.wg.Wait()
+}

@@ -127,9 +127,7 @@ func eventToState(k jobcontrol.EventKind) (JobState, bool) {
 // terminal state or the client disconnects. The connection is dedicated
 // to the stream afterwards.
 func (g *Gatekeeper) handleSubscribe(peer *Peer, msg *Message, conn net.Conn) {
-	g.mu.Lock()
-	jmi, ok := g.jobs[msg.JobContact]
-	g.mu.Unlock()
+	jmi, ok := g.jobs.Lookup(msg.JobContact)
 	if !ok {
 		_ = WriteMessage(conn, manageError(&ProtoError{Code: CodeNoSuchJob, Message: msg.JobContact}))
 		return

@@ -40,6 +40,16 @@ type Client struct {
 	auth     *gsi.Authenticator
 	sessions *gsi.SessionCache
 
+	// addrs (guarded by mu) is the optional failover address list: the
+	// gatekeeper nodes of a federated cluster fronting ONE resource (see
+	// docs/CLUSTER.md). When set, every failed connection attempt — and
+	// every CodeAuthorizationUnavailable management reply — rotates to
+	// the next node before the retry policy re-dials, and failures
+	// become transient as long as another node may answer. addrIdx is
+	// the round-robin cursor.
+	addrs   []string
+	addrIdx int
+
 	// retry (guarded by mu) is the ONE policy governing both of the
 	// client's recovery paths: redialing when a GSI session resumption
 	// dies mid-handshake or the connection resets, and re-asking when a
@@ -98,6 +108,47 @@ func (c *Client) SetRetryPolicy(p resilience.Policy) {
 	c.mu.Unlock()
 }
 
+// SetFailover installs the cluster's gatekeeper address list. The
+// client dials the nodes round-robin: the first address is preferred,
+// and every connection failure or retryable authorization outage
+// advances to the next node. Cached GSI sessions are keyed by the
+// FIRST address regardless of which node answers, so a resumption
+// ticket granted by one node is presented to — and, with a replicated
+// ticket-secret ring, honored by — any other. Calling SetFailover with
+// no arguments reverts to single-address operation.
+func (c *Client) SetFailover(addrs ...string) {
+	c.mu.Lock()
+	c.addrs = append([]string(nil), addrs...)
+	c.addrIdx = 0
+	c.mu.Unlock()
+}
+
+// target returns the address the next connection attempt should dial.
+// Caller holds c.mu.
+func (c *Client) target() string {
+	if len(c.addrs) > 0 {
+		return c.addrs[c.addrIdx%len(c.addrs)]
+	}
+	return c.addr
+}
+
+// advance rotates to the next failover address. Caller holds c.mu.
+func (c *Client) advance() {
+	if len(c.addrs) > 1 {
+		c.addrIdx = (c.addrIdx + 1) % len(c.addrs)
+	}
+}
+
+// sessionKey is the session-cache key for handshakes: stable across
+// failover so a ticket granted by one cluster node resumes on another.
+// Caller holds c.mu.
+func (c *Client) sessionKey() string {
+	if len(c.addrs) > 0 {
+		return c.addrs[0]
+	}
+	return c.addr
+}
+
 // dial establishes a new authenticated connection, resuming a cached
 // GSI session when possible. A resumption attempt that dies mid-protocol
 // (say, the server restarted and lost its ticket key *and* the
@@ -105,7 +156,10 @@ func (c *Client) SetRetryPolicy(p resilience.Policy) {
 // the failed attempt already invalidated the session, so a retry — paced
 // by the client's retry policy — runs a full handshake on a fresh
 // connection. A plain dial refusal (nothing listening, unreachable host)
-// is NOT transient and fails fast. Caller holds c.mu.
+// is NOT transient and fails fast — unless a failover list is
+// configured, in which case every failure rotates to the next node and
+// stays transient: some surviving node may still answer, and the retry
+// policy bounds how long the client hunts. Caller holds c.mu.
 func (c *Client) dial() (net.Conn, *bufio.Reader, *gsi.Peer, error) {
 	var (
 		conn net.Conn
@@ -113,18 +167,23 @@ func (c *Client) dial() (net.Conn, *bufio.Reader, *gsi.Peer, error) {
 		peer *gsi.Peer
 	)
 	err := c.retry.Do(context.Background(), func(int) (error, bool) {
-		nc, err := net.Dial("tcp", c.addr)
+		addr := c.target()
+		failover := len(c.addrs) > 1
+		nc, err := net.Dial("tcp", addr)
 		if err != nil {
-			return fmt.Errorf("gram: dial %s: %w", c.addr, err), false
+			c.advance()
+			return fmt.Errorf("gram: dial %s: %w", addr, err), failover
 		}
-		p, r, err := c.auth.HandshakeClient(nc, c.addr)
+		p, r, err := c.auth.HandshakeClient(nc, c.sessionKey())
 		if err == nil {
 			conn, br, peer = nc, r, p
 			return nil, false
 		}
 		nc.Close()
-		transient := errors.Is(err, gsi.ErrResumeFailed) || errors.Is(err, syscall.ECONNRESET)
-		return fmt.Errorf("gram: authenticate to %s: %w", c.addr, err), transient
+		c.advance()
+		transient := failover ||
+			errors.Is(err, gsi.ErrResumeFailed) || errors.Is(err, syscall.ECONNRESET)
+		return fmt.Errorf("gram: authenticate to %s: %w", addr, err), transient
 	})
 	if err != nil {
 		return nil, nil, nil, err
@@ -265,10 +324,13 @@ func (c *Client) roundTrip(m *Message) (*Message, error) {
 // error is the retryable CodeAuthorizationUnavailable (the
 // authorization system failed transiently while deciding — callout
 // timeout, open circuit breaker) is re-asked under the client's retry
-// policy with backoff. Transport errors are not retried here; the next
-// call transparently reconnects. Submit does NOT go through this path:
-// an undecidable startup is fail-closed and final (see
-// decisionToProto).
+// policy with backoff. With a failover list configured the retry does
+// not re-ask the same struggling node: the connection is dropped and
+// the cursor advanced, so the next attempt lands on the next cluster
+// node (which, sharing the job table, can answer for the same job).
+// Transport errors are not retried here; the next call transparently
+// reconnects. Submit does NOT go through this path: an undecidable
+// startup is fail-closed and final (see decisionToProto).
 func (c *Client) manageRoundTrip(m *Message) (*Message, error) {
 	c.mu.Lock()
 	pol := c.retry
@@ -282,6 +344,12 @@ func (c *Client) manageRoundTrip(m *Message) (*Message, error) {
 		}
 		reply = r
 		if r.Err != nil && r.Err.Code == CodeAuthorizationUnavailable {
+			c.mu.Lock()
+			if len(c.addrs) > 1 {
+				c.resetLocked() //authlint:ignore locksafe client lifecycle lock; dropping the conn to a degraded node before failing over is the point
+				c.advance()
+			}
+			c.mu.Unlock()
 			return r.Err, true
 		}
 		return nil, false

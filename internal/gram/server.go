@@ -107,6 +107,17 @@ type Config struct {
 	// negative disables resumption). Individual tickets are further
 	// clamped to the client credential's remaining validity.
 	TicketLifetime time.Duration
+	// TicketRing, when set, backs the resumption-ticket issuer with a
+	// shared (typically cluster-replicated) secret ring instead of a
+	// fresh private key, so tickets granted by this gatekeeper redeem on
+	// every node holding the same ring secrets and survive node
+	// restarts. Ignored when TicketLifetime is negative.
+	TicketRing *gsi.SecretRing
+	// Jobs, when set, is the job table this gatekeeper registers JMIs
+	// in. Cluster deployments pass one shared table (plus one shared
+	// Cluster) to every node so management requests for any job succeed
+	// on any node; nil selects a private per-gatekeeper table.
+	Jobs *JobTable
 	// ConnWorkers bounds concurrent request processing per multiplexed
 	// connection (0 selects 8). Excess requests queue in arrival order;
 	// version-1 connections are inherently serial.
@@ -138,11 +149,10 @@ type Gatekeeper struct {
 	cfg  Config
 	auth *gsi.Authenticator
 
-	mu     sync.Mutex
-	jobs   map[string]*JMI
-	nextID int
-	conns  map[net.Conn]struct{}
-	hub    *watchHub
+	mu    sync.Mutex
+	jobs  *JobTable
+	conns map[net.Conn]struct{}
+	hub   *watchHub
 
 	listener net.Listener
 	wg       sync.WaitGroup
@@ -195,17 +205,26 @@ func NewGatekeeper(cfg Config) (*Gatekeeper, error) {
 		opts = append(opts, gsi.WithVOCert(c))
 	}
 	if cfg.TicketLifetime >= 0 {
-		issuer, err := gsi.NewTicketIssuer(cfg.TicketLifetime)
-		if err != nil {
-			return nil, fmt.Errorf("gram: %w", err)
+		var issuer *gsi.TicketIssuer
+		if cfg.TicketRing != nil {
+			issuer = gsi.NewTicketIssuerWithRing(cfg.TicketRing, cfg.TicketLifetime)
+		} else {
+			var err error
+			issuer, err = gsi.NewTicketIssuer(cfg.TicketLifetime)
+			if err != nil {
+				return nil, fmt.Errorf("gram: %w", err)
+			}
 		}
 		opts = append(opts, gsi.WithTicketIssuer(issuer))
+	}
+	if cfg.Jobs == nil {
+		cfg.Jobs = NewJobTable()
 	}
 	baseCtx, cancelBase := context.WithCancel(context.Background())
 	return &Gatekeeper{
 		cfg:        cfg,
 		auth:       gsi.NewAuthenticator(cfg.Credential, cfg.Trust, opts...),
-		jobs:       make(map[string]*JMI),
+		jobs:       cfg.Jobs,
 		conns:      make(map[net.Conn]struct{}),
 		hub:        newWatchHub(cfg.Cluster),
 		closed:     make(chan struct{}),
@@ -276,19 +295,15 @@ func (g *Gatekeeper) track(conn net.Conn) func() {
 	}
 }
 
-// JobCount returns the number of JMIs created.
+// JobCount returns the number of JMIs in the gatekeeper's job table
+// (the shared total when the table is cluster-shared).
 func (g *Gatekeeper) JobCount() int {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	return len(g.jobs)
+	return g.jobs.Len()
 }
 
 // Job returns the JMI for a contact (test and tooling hook).
 func (g *Gatekeeper) Job(contact string) (*JMI, bool) {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	j, ok := g.jobs[contact]
-	return j, ok
+	return g.jobs.Lookup(contact)
 }
 
 func (g *Gatekeeper) handleConn(conn net.Conn) {
@@ -485,11 +500,10 @@ func (g *Gatekeeper) handleJobRequest(ctx context.Context, peer *Peer, msg *Mess
 	}
 
 	// Allocate the GRAM job contact before authorization so callouts
-	// (and any accounting they do) see a stable job identifier.
-	g.mu.Lock()
-	g.nextID++
-	contact := fmt.Sprintf("gram://%s/job/%d", g.cfg.Credential.Identity().CN(), g.nextID)
-	g.mu.Unlock()
+	// (and any accounting they do) see a stable job identifier. The ID
+	// comes from the job table, so contacts stay unique across every
+	// gatekeeper sharing it.
+	contact := fmt.Sprintf("gram://%s/job/%d", g.cfg.Credential.Identity().CN(), g.jobs.next())
 	abort := func(perr *ProtoError) *Message {
 		if g.cfg.OnJobAborted != nil {
 			g.cfg.OnJobAborted(contact)
@@ -542,7 +556,6 @@ func (g *Gatekeeper) handleJobRequest(ctx context.Context, peer *Peer, msg *Mess
 	}
 
 	// Create the Job Manager Instance and submit the job.
-	g.mu.Lock()
 	jmi := &JMI{
 		Contact:  contact,
 		Owner:    peer.Identity,
@@ -554,13 +567,10 @@ func (g *Gatekeeper) handleJobRequest(ctx context.Context, peer *Peer, msg *Mess
 		cluster:  g.cfg.Cluster,
 		tampered: g.cfg.TamperJMI,
 	}
-	g.jobs[contact] = jmi
-	g.mu.Unlock()
+	g.jobs.add(contact, jmi)
 
 	if perr := jmi.start(g.cfg.DefaultPriority); perr != nil {
-		g.mu.Lock()
-		delete(g.jobs, contact)
-		g.mu.Unlock()
+		g.jobs.remove(contact)
 		return abort(perr)
 	}
 	g.hub.register(jmi.LRMJobID(), contact)
@@ -598,9 +608,7 @@ func rightsFromSpec(spec *rsl.Spec) accounts.Rights {
 // trusted component — and the JMI is told to skip its own check; the
 // trade-off §6.2 describes.
 func (g *Gatekeeper) handleManage(ctx context.Context, peer *Peer, msg *Message) *Message {
-	g.mu.Lock()
-	jmi, ok := g.jobs[msg.JobContact]
-	g.mu.Unlock()
+	jmi, ok := g.jobs.Lookup(msg.JobContact)
 	if !ok {
 		return manageError(&ProtoError{Code: CodeNoSuchJob, Message: fmt.Sprintf("no job %q", msg.JobContact)})
 	}

@@ -337,9 +337,21 @@ func (a *Authenticator) acceptResume(rw io.ReadWriter, br *bufio.Reader, clientH
 	if a.issuer == nil || len(clientHello.Nonce) != nonceLen {
 		return nil, false, nil
 	}
-	state, secret, err := a.issuer.redeem(clientHello.ResumeTicket, a.now())
+	state, secret, oldKey, err := a.issuer.redeem(clientHello.ResumeTicket, a.now())
 	if err != nil {
+		// Ticket refused (tampered, expired, or sealed under an unknown/
+		// retired ring secret): count it and fall back to a full
+		// handshake. Post-rotation refusals land here once the old
+		// secret's overlap window closes.
+		if a.metrics != nil {
+			a.metrics.TicketsRejected.Inc()
+		}
 		return nil, false, nil
+	}
+	if oldKey && a.metrics != nil {
+		// Redeemed under a superseded secret still in its overlap
+		// window — the hitless-rotation path.
+		a.metrics.TicketsOldSecret.Inc()
 	}
 	// The re-presented assertions must be the exact set the full
 	// handshake verified and the ticket sealed: the digest (over the

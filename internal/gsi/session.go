@@ -37,27 +37,45 @@ const DefaultTicketLifetime = 10 * time.Minute
 // connection can re-establish the authenticated channel in one round
 // trip, without chain verification or per-leg signatures. The issuer is
 // stateless across connections: everything needed to redeem a ticket is
-// inside the ticket, sealed under the issuer's random key, so restarting
-// the process invalidates all outstanding tickets (clients fall back to
-// a full handshake transparently).
+// inside the ticket, sealed under one of the issuer's ring secrets, so
+// an issuer whose ring holds only a private random secret invalidates
+// all outstanding tickets when the process restarts (clients fall back
+// to a full handshake transparently). Issuers built over a SHARED ring
+// (NewTicketIssuerWithRing) instead survive both restarts and failover:
+// any node holding the ring secret redeems any node's tickets, and
+// rotation retires secrets gracefully through the ring's overlap
+// window.
 type TicketIssuer struct {
-	key      []byte
+	ring     *SecretRing
 	lifetime time.Duration
 	now      func() time.Time
 }
 
-// NewTicketIssuer creates an issuer with a fresh random sealing key.
-// lifetime <= 0 selects DefaultTicketLifetime.
+// NewTicketIssuer creates an issuer over a fresh private single-secret
+// ring. lifetime <= 0 selects DefaultTicketLifetime.
 func NewTicketIssuer(lifetime time.Duration) (*TicketIssuer, error) {
+	ring, err := NewSecretRing(0)
+	if err != nil {
+		return nil, err
+	}
+	return NewTicketIssuerWithRing(ring, lifetime), nil
+}
+
+// NewTicketIssuerWithRing creates an issuer over a caller-provided
+// (typically shared or replicated) secret ring. lifetime <= 0 selects
+// DefaultTicketLifetime. An empty follower ring issues nothing until a
+// secret is installed; redemption accepts exactly the versions the ring
+// currently holds.
+func NewTicketIssuerWithRing(ring *SecretRing, lifetime time.Duration) *TicketIssuer {
 	if lifetime <= 0 {
 		lifetime = DefaultTicketLifetime
 	}
-	key := make([]byte, 32)
-	if _, err := rand.Read(key); err != nil {
-		return nil, fmt.Errorf("gsi: generate ticket key: %w", err)
-	}
-	return &TicketIssuer{key: key, lifetime: lifetime, now: time.Now}, nil
+	return &TicketIssuer{ring: ring, lifetime: lifetime, now: time.Now}
 }
+
+// Ring exposes the issuer's secret ring (rotation and distribution
+// happen through it).
+func (ti *TicketIssuer) Ring() *SecretRing { return ti.ring }
 
 // ticketPayload is the sealed state: everything the acceptor needs to
 // reconstruct the authenticated Peer without re-verifying the chain.
@@ -74,31 +92,37 @@ type ticketPayload struct {
 	Expiry          time.Time `json:"expiry"`
 }
 
-// sealedTicket is the wire form of a ticket: the payload plus an HMAC
-// over it under the issuer's key. The client treats the whole blob as
-// opaque. Note the payload is not confidential — nothing on this
-// simulated wire is — but it is unforgeable and tamper-evident, and the
-// session secret needed to redeem it is never derivable from the ticket
-// alone (the derivation is keyed, see secretFor).
+// sealedTicket is the wire form of a ticket: the payload, the version
+// of the ring secret it is sealed under, and an HMAC over the payload
+// under that secret. The client treats the whole blob as opaque. Note
+// the payload is not confidential — nothing on this simulated wire is —
+// but it is unforgeable and tamper-evident, and the session secret
+// needed to redeem it is never derivable from the ticket alone (the
+// derivation is keyed, see ticketSecret).
 type sealedTicket struct {
 	Payload json.RawMessage `json:"payload"`
 	MAC     []byte          `json:"mac"`
+	// KeyID names the SecretVersion the seal was computed under, so a
+	// redeeming node (possibly a different cluster member, possibly
+	// post-rotation) selects the right key without trial decryption.
+	KeyID uint32 `json:"keyId,omitempty"`
 }
 
-func (ti *TicketIssuer) sealMAC(payload []byte) []byte {
-	h := hmac.New(sha256.New, ti.key)
+func ticketSealMAC(key, payload []byte) []byte {
+	h := hmac.New(sha256.New, key)
 	h.Write([]byte("gsi-ticket-seal"))
 	h.Write(payload)
 	return h.Sum(nil)
 }
 
-// secretFor derives the per-ticket session secret from the seal. Only
-// the issuer can perform the derivation (it is keyed), so an observer
-// of a ticket on the wire cannot impersonate either side of a
-// resumption; the legitimate client receives the secret once, at grant
-// time, over the channel the full handshake just authenticated.
-func (ti *TicketIssuer) secretFor(sealMAC []byte) []byte {
-	h := hmac.New(sha256.New, ti.key)
+// ticketSecret derives the per-ticket session secret from the seal.
+// Only a holder of the ring secret can perform the derivation (it is
+// keyed), so an observer of a ticket on the wire cannot impersonate
+// either side of a resumption; the legitimate client receives the
+// secret once, at grant time, over the channel the full handshake just
+// authenticated.
+func ticketSecret(key, sealMAC []byte) []byte {
+	h := hmac.New(sha256.New, key)
 	h.Write([]byte("gsi-resume-secret"))
 	h.Write(sealMAC)
 	return h.Sum(nil)
@@ -109,6 +133,10 @@ func (ti *TicketIssuer) secretFor(sealMAC []byte) []byte {
 // assertion's validity window, so a resumed session can never outlive
 // what a full handshake at redeem time would have accepted.
 func (ti *TicketIssuer) issue(peer *Peer) (ticket, secret []byte, expiry time.Time, err error) {
+	ver, ok := ti.ring.Current()
+	if !ok {
+		return nil, nil, time.Time{}, errors.New("gsi: ticket secret ring is empty (no secret installed yet)")
+	}
 	now := ti.now()
 	expiry = now.Add(ti.lifetime)
 	if peer.Credential != nil {
@@ -139,32 +167,40 @@ func (ti *TicketIssuer) issue(peer *Peer) (ticket, secret []byte, expiry time.Ti
 	if err != nil {
 		return nil, nil, time.Time{}, err
 	}
-	mac := ti.sealMAC(payload)
-	ticket, err = json.Marshal(&sealedTicket{Payload: payload, MAC: mac})
+	mac := ticketSealMAC(ver.Key, payload)
+	ticket, err = json.Marshal(&sealedTicket{Payload: payload, MAC: mac, KeyID: ver.ID})
 	if err != nil {
 		return nil, nil, time.Time{}, err
 	}
-	return ticket, ti.secretFor(mac), expiry, nil
+	return ticket, ticketSecret(ver.Key, mac), expiry, nil
 }
 
 // redeem validates a sealed ticket at time `at` and returns the bound
-// peer state and the session secret.
-func (ti *TicketIssuer) redeem(ticket []byte, at time.Time) (*ticketPayload, []byte, error) {
+// peer state and the session secret. oldKey reports that the ticket was
+// sealed under a superseded ring secret still inside its rotation
+// overlap window (accepted, but worth counting: a burst of them right
+// after a rotation is normal, a steady stream much later is a peer
+// failing to pick up new secrets).
+func (ti *TicketIssuer) redeem(ticket []byte, at time.Time) (p *ticketPayload, secret []byte, oldKey bool, err error) {
 	var st sealedTicket
 	if err := json.Unmarshal(ticket, &st); err != nil {
-		return nil, nil, fmt.Errorf("%w: %v", ErrTicketInvalid, err)
+		return nil, nil, false, fmt.Errorf("%w: %v", ErrTicketInvalid, err)
 	}
-	if !hmac.Equal(st.MAC, ti.sealMAC(st.Payload)) {
-		return nil, nil, fmt.Errorf("%w: bad seal", ErrTicketInvalid)
+	key, oldKey, ok := ti.ring.keyFor(st.KeyID, at)
+	if !ok {
+		return nil, nil, false, fmt.Errorf("%w: unknown or retired secret version %d", ErrTicketInvalid, st.KeyID)
 	}
-	var p ticketPayload
-	if err := json.Unmarshal(st.Payload, &p); err != nil {
-		return nil, nil, fmt.Errorf("%w: %v", ErrTicketInvalid, err)
+	if !hmac.Equal(st.MAC, ticketSealMAC(key, st.Payload)) {
+		return nil, nil, false, fmt.Errorf("%w: bad seal", ErrTicketInvalid)
+	}
+	p = new(ticketPayload)
+	if err := json.Unmarshal(st.Payload, p); err != nil {
+		return nil, nil, false, fmt.Errorf("%w: %v", ErrTicketInvalid, err)
 	}
 	if at.After(p.Expiry) {
-		return nil, nil, fmt.Errorf("%w: expired %s ago", ErrTicketInvalid, at.Sub(p.Expiry))
+		return nil, nil, false, fmt.Errorf("%w: expired %s ago", ErrTicketInvalid, at.Sub(p.Expiry))
 	}
-	return &p, ti.secretFor(st.MAC), nil
+	return p, ticketSecret(key, st.MAC), oldKey, nil
 }
 
 // resumeMAC computes one leg's proof of session-secret possession. The

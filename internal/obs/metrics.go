@@ -125,6 +125,19 @@ type Metrics struct {
 	HandshakesResumed Counter
 	HandshakesFailed  Counter
 
+	// GSI resumption-ticket secret ring (gsi.SecretRing): rotation
+	// outcomes at redemption time.
+	TicketsOldSecret Counter // tickets redeemed under a superseded secret inside its overlap window
+	TicketsRejected  Counter // resumption tickets refused at redemption (bad seal, expiry, unknown or retired secret version)
+
+	// Cluster replication (internal/cluster): policy-epoch propagation
+	// between gatekeeper nodes and the staleness guard.
+	ClusterEpoch              Gauge   // last replication epoch applied by this node
+	ClusterSnapshotsApplied   Counter // replicated snapshots applied by this node's follower
+	ClusterSnapshotsPublished Counter // snapshots broadcast by this node's publisher
+	ClusterSyncFailures       Counter // failed publisher connection/stream attempts
+	ClusterStaleRefusals      Counter // decisions refused by the staleness guard (replica beyond max-staleness)
+
 	// GRAM server (internal/gram).
 	Requests         Counter // dispatched protocol requests
 	RequestsInflight Gauge   // requests currently being dispatched
@@ -221,6 +234,11 @@ var descriptors = []metricDesc{
 	counterDesc("breaker_half_open_total", "circuit-breaker open to half-open transitions", func(m *Metrics) *Counter { return &m.BreakerHalfOpen }),
 	counterDesc("breaker_opened_total", "circuit-breaker transitions to open", func(m *Metrics) *Counter { return &m.BreakerOpened }),
 	counterDesc("breaker_shed_total", "calls refused by an open circuit breaker", func(m *Metrics) *Counter { return &m.BreakerShed }),
+	gaugeDesc("cluster_epoch", "last cluster replication epoch applied by this node", func(m *Metrics) *Gauge { return &m.ClusterEpoch }),
+	counterDesc("cluster_snapshots_applied_total", "replicated policy snapshots applied by this node's follower", func(m *Metrics) *Counter { return &m.ClusterSnapshotsApplied }),
+	counterDesc("cluster_snapshots_published_total", "policy snapshots broadcast by this node's publisher", func(m *Metrics) *Counter { return &m.ClusterSnapshotsPublished }),
+	counterDesc("cluster_stale_refusals_total", "decisions refused by the staleness guard with the replica beyond max-staleness", func(m *Metrics) *Counter { return &m.ClusterStaleRefusals }),
+	counterDesc("cluster_sync_failures_total", "failed connection or stream attempts to the cluster publisher", func(m *Metrics) *Counter { return &m.ClusterSyncFailures }),
 	gaugeDesc("gram_connections_active", "open authenticated GRAM connections", func(m *Metrics) *Gauge { return &m.ConnsActive }),
 	gaugeDesc("gram_queue_waiting", "requests waiting for a free connection worker", func(m *Metrics) *Gauge { return &m.QueueWaiting }),
 	gaugeDesc("gram_requests_inflight", "GRAM requests currently dispatching", func(m *Metrics) *Gauge { return &m.RequestsInflight }),
@@ -228,6 +246,8 @@ var descriptors = []metricDesc{
 	counterDesc("gsi_handshakes_failed_total", "failed GSI handshakes", func(m *Metrics) *Counter { return &m.HandshakesFailed }),
 	counterDesc("gsi_handshakes_full_total", "full (non-resumed) GSI handshakes", func(m *Metrics) *Counter { return &m.HandshakesFull }),
 	counterDesc("gsi_handshakes_resumed_total", "session-resumed GSI handshakes", func(m *Metrics) *Counter { return &m.HandshakesResumed }),
+	counterDesc("gsi_tickets_old_secret_total", "resumption tickets redeemed under a superseded ring secret inside its rotation overlap window", func(m *Metrics) *Counter { return &m.TicketsOldSecret }),
+	counterDesc("gsi_tickets_rejected_total", "resumption tickets refused at redemption (bad seal, expiry, unknown or retired secret version)", func(m *Metrics) *Counter { return &m.TicketsRejected }),
 }
 
 // Catalog returns the documented metric set, sorted by name.
