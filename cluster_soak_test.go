@@ -21,7 +21,15 @@ package gridauth
 //     the partition heals;
 //   - a policy change published at epoch E is enforced by every live
 //     node as soon as its follower applies E (bounded by the staleness
-//     window), including revocation of a previously working grant.
+//     window), including revocation of a previously working grant;
+//   - publisher RESTART: a fresh publisher incarnation (epoch counter
+//     back at 0, the documented policy-rollout path) is adopted by the
+//     surviving followers, so a rollout via restart is enforced
+//     cluster-wide instead of being silently discarded as "older"
+//     epochs.
+//
+// The replication channel runs with mutual GSI authentication — the
+// production wiring — so every phase also soaks the handshake path.
 //
 // Run under -race in CI (make cluster-soak); every failure mode here is
 // a concurrency bug by construction.
@@ -113,9 +121,21 @@ func TestClusterSoak(t *testing.T) {
 		t.Fatal(err)
 	}
 
+	// The replication channel is mutually authenticated end to end: the
+	// publisher holds a service credential followers pin, and followers
+	// present service credentials of their own — exactly the production
+	// wiring, so the chaos phases also soak the handshake path.
+	pubCred, err := fab.IssueService("/O=Grid/CN=cluster-publisher")
+	if err != nil {
+		t.Fatal(err)
+	}
+
 	// The leader: a standalone publisher seeded with the policy and the
 	// ticket secret every node must share.
-	pub := cluster.NewPublisher(cluster.PublisherConfig{Heartbeat: 25 * time.Millisecond})
+	pub := cluster.NewPublisher(cluster.PublisherConfig{
+		Heartbeat: 25 * time.Millisecond,
+		Auth:      gsi.NewAuthenticator(pubCred, fab.Trust),
+	})
 	pl, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -150,6 +170,10 @@ func TestClusterSoak(t *testing.T) {
 		t.Helper()
 		n := &soakNode{idx: i, metrics: obs.NewMetrics()}
 		ring := gsi.NewFollowerSecretRing(time.Minute)
+		nodeCred, err := fab.IssueService(fmt.Sprintf("/O=Grid/CN=cluster-node%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
 		dial := func(ctx context.Context, address string) (net.Conn, error) {
 			if n.partitioned.Load() {
 				return nil, errors.New("soak: partitioned from publisher")
@@ -165,12 +189,14 @@ func TestClusterSoak(t *testing.T) {
 			return c, nil
 		}
 		n.follower = cluster.NewFollower(cluster.FollowerConfig{
-			Addr:    pubAddr,
-			Sources: []string{soakSource},
-			Ring:    ring,
-			Retry:   resilience.Policy{Attempts: 3, BaseDelay: 5 * time.Millisecond, MaxDelay: 25 * time.Millisecond},
-			Dial:    dial,
-			Metrics: n.metrics,
+			Addr:              pubAddr,
+			Sources:           []string{soakSource},
+			Ring:              ring,
+			Retry:             resilience.Policy{Attempts: 3, BaseDelay: 5 * time.Millisecond, MaxDelay: 25 * time.Millisecond},
+			Dial:              dial,
+			Auth:              gsi.NewAuthenticator(nodeCred, fab.Trust),
+			PublisherIdentity: pubCred.Identity(),
+			Metrics:           n.metrics,
 		})
 		ctx, cancel := context.WithCancel(context.Background())
 		followDone := make(chan struct{})
@@ -415,6 +441,54 @@ func TestClusterSoak(t *testing.T) {
 		if _, err := pinned.Submit(soakJob, ""); !gram.IsAuthorizationDenied(err) {
 			t.Errorf("node %d after revocation epoch %d: submit = %v, want authorization denial", n.idx, epochR, err)
 		}
+		pinned.Close()
+	}
+
+	// ---- phase 4: RESTART the publisher with edited policy files ----
+	// The documented rollout path: kill the admin-host publisher and
+	// start a fresh one (new incarnation, epoch counter back at 0)
+	// seeded from the edited files — here the re-grant of Kate's start
+	// right. Surviving followers sit at a higher pre-restart epoch, so
+	// this phase proves they adopt the new incarnation's lower epochs
+	// instead of silently discarding them while heartbeats keep their
+	// staleness clocks fresh.
+	pub.Close()
+	pub2 := cluster.NewPublisher(cluster.PublisherConfig{
+		Heartbeat: 25 * time.Millisecond,
+		Auth:      gsi.NewAuthenticator(pubCred, fab.Trust),
+	})
+	epochG, err := pub2.SetPolicy(soakSource, soakPolicy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if epochG >= epochR {
+		t.Fatalf("restarted publisher minted epoch %d, expected a restart below %d", epochG, epochR)
+	}
+	if cur, ok := leaderRing.Current(); ok {
+		pub2.ShareSecret(cur)
+	}
+	var pl2 net.Listener
+	waitFor("the publisher address to be rebindable", 5*time.Second, func() bool {
+		pl2, err = net.Listen("tcp", pubAddr)
+		return err == nil
+	})
+	go func() { _ = pub2.Serve(pl2) }()
+	t.Cleanup(pub2.Close)
+	for _, n := range nodes {
+		n := n
+		pinned, err := n.res.Client(kate)
+		if err != nil {
+			t.Fatal(err)
+		}
+		waitFor(fmt.Sprintf("node %d to enforce the restarted publisher's re-grant", n.idx),
+			soakMaxStaleness+5*time.Second, func() bool {
+				contact, err := pinned.Submit(soakJob, "")
+				if err != nil {
+					return false
+				}
+				_ = pinned.Cancel(contact)
+				return true
+			})
 		pinned.Close()
 	}
 

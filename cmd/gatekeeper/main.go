@@ -79,6 +79,7 @@ func run(args []string) error {
 	clusterPublish := fs.String("cluster-publish", "", "serve cluster replication (policy epochs + ticket secrets) to follower nodes on this address (leader role, docs/CLUSTER.md)")
 	clusterFollow := fs.String("cluster-follow", "", "replicate policy and ticket secrets from the cluster publisher at this address (follower role)")
 	clusterMaxStaleness := fs.Duration("cluster-max-staleness", 0, "refuse to decide once the publisher has been silent this long (0 = default 15s; follower role)")
+	clusterAuth := fs.Bool("cluster-auth", true, "mutually authenticate the cluster replication channel with the node's GSI service credential; disable only when the replication port is confined to the trusted admin network")
 	connWorkers := fs.Int("conn-workers", 0, "max concurrent requests per multiplexed connection (0 = default 8)")
 	handshakeTimeout := fs.Duration("handshake-timeout", 0, "GSI handshake deadline on accepted connections (0 = default 10s, negative disables)")
 	idleTimeout := fs.Duration("idle-timeout", 0, "idle connection timeout (0 = default 5m, negative disables)")
@@ -252,6 +253,9 @@ func run(args []string) error {
 	// policy files and ticket secret as replicated epochs; a follower
 	// replaces file-based policy with replicated stores guarded by a
 	// staleness bound, and redeems any cluster node's session tickets.
+	// The replication channel carries those ticket-sealing secrets, so
+	// by default both roles authenticate it with the node's service
+	// credential (-cluster-auth=false requires a trusted admin network).
 	var ticketRing *gsi.SecretRing
 	if *clusterPublish != "" {
 		ring, err := gsi.NewSecretRing(gsi.DefaultSecretOverlap)
@@ -259,7 +263,11 @@ func run(args []string) error {
 			return err
 		}
 		ticketRing = ring
-		pub := clusterpkg.NewPublisher(clusterpkg.PublisherConfig{Metrics: metrics})
+		pubCfg := clusterpkg.PublisherConfig{Metrics: metrics}
+		if *clusterAuth {
+			pubCfg.Auth = gsi.NewAuthenticator(gkCred, trust)
+		}
+		pub := clusterpkg.NewPublisher(pubCfg)
 		for _, src := range []struct{ source, path string }{{"VO", *voPolicy}, {"local", *localPolicy}} {
 			if src.path == "" {
 				continue
@@ -285,12 +293,16 @@ func run(args []string) error {
 	}
 	if *clusterFollow != "" {
 		ticketRing = gsi.NewFollowerSecretRing(gsi.DefaultSecretOverlap)
-		follower := clusterpkg.NewFollower(clusterpkg.FollowerConfig{
+		followCfg := clusterpkg.FollowerConfig{
 			Addr:    *clusterFollow,
 			Sources: []string{"VO", "local"},
 			Ring:    ticketRing,
 			Metrics: metrics,
-		})
+		}
+		if *clusterAuth {
+			followCfg.Auth = gsi.NewAuthenticator(gkCred, trust)
+		}
+		follower := clusterpkg.NewFollower(followCfg)
 		if gkMode == gram.AuthzCallout {
 			guard := &clusterpkg.StalenessGuard{
 				Follower:     follower,

@@ -44,9 +44,19 @@ type PolicyText struct {
 // sizes policies and secret rings reach, losing delta bookkeeping (and
 // its resync bugs) is worth far more than the bytes.
 type State struct {
-	// Epoch orders states: a follower applies a state only if its epoch
-	// exceeds everything it has applied. Epoch 0 is the empty pre-seed
-	// state and is never applied (but still refreshes liveness).
+	// Incarnation identifies the publisher instance that minted this
+	// state. Epoch counters live in the publisher's memory, so a
+	// RESTARTED publisher (the documented policy-rollout path) starts
+	// minting from 1 again; the fresh random incarnation ID tells
+	// followers that the old ordering no longer applies and they must
+	// re-open their strictly-newer epoch gate. Without it, surviving
+	// followers at a higher pre-restart epoch would silently discard the
+	// new lineage forever while its heartbeats kept them "fresh".
+	Incarnation string `json:"incarnation,omitempty"`
+	// Epoch orders states within one incarnation: a follower applies a
+	// state only if its epoch exceeds everything it has applied from the
+	// same incarnation. Epoch 0 is the empty pre-seed state and is never
+	// applied (but still refreshes liveness).
 	Epoch uint64 `json:"epoch"`
 	// Policies carries every administrative source's current policy.
 	Policies []PolicyText `json:"policies,omitempty"`
@@ -59,7 +69,7 @@ type State struct {
 // clone deep-copies a state so snapshots handed to subscribers are
 // immune to later mutation under the publisher's lock.
 func (s State) clone() State {
-	out := State{Epoch: s.Epoch}
+	out := State{Incarnation: s.Incarnation, Epoch: s.Epoch}
 	if len(s.Policies) > 0 {
 		out.Policies = append([]PolicyText(nil), s.Policies...)
 	}

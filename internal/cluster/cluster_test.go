@@ -1,8 +1,10 @@
 package cluster
 
 import (
+	"bufio"
 	"context"
 	"net"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -253,6 +255,207 @@ func pub2Serve(old *Publisher, l net.Listener) error {
 		}
 	}()
 	return p.Serve(l)
+}
+
+// TestRestartedPublisherNewIncarnationIsAdopted pins the recovery path
+// the runbook documents: the epoch counter is in-memory on the admin
+// host, so a restarted publisher mints 1..k again under a NEW
+// incarnation. A surviving follower at a higher pre-restart epoch must
+// adopt those states — silently discarding them would leave a
+// revocation rolled out via restart unenforced forever while heartbeats
+// kept the staleness guard happy.
+func TestRestartedPublisherNewIncarnationIsAdopted(t *testing.T) {
+	pub, addr := startPublisher(t, PublisherConfig{Heartbeat: 10 * time.Millisecond})
+	// Drive the epoch well past anything the restarted publisher will
+	// mint.
+	for i := 0; i < 5; i++ {
+		if _, err := pub.SetPolicy(voSource, permitKate); err != nil {
+			t.Fatal(err)
+		}
+	}
+	epoch, err := pub.SetPolicy(voSource, permitKate)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	f := NewFollower(FollowerConfig{Addr: addr, Sources: []string{voSource}, Retry: fastRetry})
+	runFollower(t, f)
+	waitFor(t, "follower to reach the pre-restart epoch", func() bool {
+		return f.Epoch() >= epoch
+	})
+
+	// Restart: a brand-new publisher (fresh incarnation, epoch counter
+	// back at 0) on the same address, publishing an edited policy — the
+	// revocation case from the runbook.
+	pub.Close()
+	pub2 := NewPublisher(PublisherConfig{Heartbeat: 10 * time.Millisecond})
+	epoch2, err := pub2.SetPolicy(voSource, denyAll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if epoch2 >= epoch {
+		t.Fatalf("restarted publisher minted epoch %d, expected a restart below %d", epoch2, epoch)
+	}
+	var l2 net.Listener
+	waitFor(t, "the publisher address to be rebindable", func() bool {
+		l2, err = net.Listen("tcp", addr)
+		return err == nil
+	})
+	go func() { _ = pub2.Serve(l2) }()
+	t.Cleanup(pub2.Close)
+
+	// The follower reconnects by itself and must apply the NEW lineage's
+	// lower epoch, enforcing the revocation.
+	store := f.Store(voSource)
+	req := &core.Request{Subject: "/O=Grid/O=Globus/OU=mcs.anl.gov/CN=Kate Keahey", Action: "start"}
+	waitFor(t, "the follower to enforce the restarted publisher's policy", func() bool {
+		if f.Epoch() != epoch2 {
+			return false
+		}
+		d := (&core.StorePDP{Store: store}).Authorize(req)
+		return d.Effect != core.Permit
+	})
+}
+
+// TestAuthenticatedReplication exercises the mutually authenticated
+// channel: a service-credentialed follower syncs, while a
+// user-credentialed dialer — trusted by the same CA — is refused before
+// any state (and any ticket secret) is sent.
+func TestAuthenticatedReplication(t *testing.T) {
+	ca, err := gsi.NewCA("/O=Grid/CN=Cluster Test CA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	trust := gsi.NewTrustStore(ca.Certificate())
+	pubCred, err := ca.Issue("/O=Grid/CN=cluster-publisher", gsi.KindService)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodeCred, err := ca.Issue("/O=Grid/CN=node-a", gsi.KindService)
+	if err != nil {
+		t.Fatal(err)
+	}
+	userCred, err := ca.Issue("/O=Grid/CN=Mallory", gsi.KindUser)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	m := obs.NewMetrics()
+	pub, addr := startPublisher(t, PublisherConfig{
+		Heartbeat: 10 * time.Millisecond,
+		Metrics:   m,
+		Auth:      gsi.NewAuthenticator(pubCred, trust),
+	})
+	leaderRing, err := gsi.NewSecretRing(time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur, _ := leaderRing.Current()
+	epoch := pub.ShareSecret(cur)
+
+	// A properly credentialed follower (which also pins the publisher's
+	// identity) replicates the secret.
+	ring := gsi.NewFollowerSecretRing(time.Minute)
+	f := NewFollower(FollowerConfig{
+		Addr:              addr,
+		Ring:              ring,
+		Retry:             fastRetry,
+		Auth:              gsi.NewAuthenticator(nodeCred, trust),
+		PublisherIdentity: pubCred.Identity(),
+	})
+	runFollower(t, f)
+	waitFor(t, "authenticated follower to sync", func() bool { return f.Epoch() >= epoch })
+	if _, ok := ring.Current(); !ok {
+		t.Fatal("authenticated follower did not receive the ticket secret")
+	}
+
+	// A trusted USER credential must not subscribe: the state carries
+	// ticket-sealing secrets no user may hold.
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, _, err := gsi.NewAuthenticator(userCred, trust).Handshake(conn); err == nil {
+		// The handshake itself is mutual and succeeds; the refusal is the
+		// publisher closing the stream without ever sending state.
+		buf := make([]byte, 1)
+		conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+		if n, err := conn.Read(buf); err == nil || n > 0 {
+			t.Fatal("user-credentialed subscriber received cluster state")
+		}
+	}
+	waitFor(t, "the refusal to be counted", func() bool {
+		return m.ClusterAuthFailures.Load() >= 1
+	})
+
+	// A bare (no-handshake) dialer sees at most the handshake hello (the
+	// publisher's public certificate chain and a nonce) — never a State,
+	// so never the ticket secrets.
+	raw, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+	rawr := bufio.NewReader(raw)
+	raw.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if line, err := rawr.ReadString('\n'); err == nil && strings.Contains(line, `"secrets"`) {
+		t.Fatal("publisher sent ticket secrets before authentication")
+	}
+	raw.SetReadDeadline(time.Now().Add(250 * time.Millisecond))
+	if _, err := rawr.ReadString('\n'); err == nil {
+		t.Fatal("publisher kept streaming to an unauthenticated dialer")
+	}
+
+	// A follower pinned to the publisher's identity refuses a publisher
+	// that authenticates as someone else (squatter with a stolen-but-
+	// trusted service credential).
+	rogueF := NewFollower(FollowerConfig{
+		Addr:              addr,
+		Retry:             fastRetry,
+		Auth:              gsi.NewAuthenticator(nodeCred, trust),
+		PublisherIdentity: "/O=Grid/CN=the-real-publisher",
+	})
+	runFollower(t, rogueF)
+	time.Sleep(100 * time.Millisecond)
+	if rogueF.Epoch() != 0 {
+		t.Fatal("follower accepted state from a publisher with the wrong identity")
+	}
+}
+
+// TestFollowerDivergenceGaugeTracksParseFailures pins the keep-last-good
+// behavior's observability: a snapshot whose policy text fails to parse
+// leaves that source on its previous policy, visibly counted in
+// cluster_diverged_sources until a later epoch heals it.
+func TestFollowerDivergenceGaugeTracksParseFailures(t *testing.T) {
+	m := obs.NewMetrics()
+	f := NewFollower(FollowerConfig{Sources: []string{voSource}, Metrics: m})
+
+	f.apply(&State{Epoch: 1, Policies: []PolicyText{{Source: voSource, Text: permitKate}}})
+	if m.ClusterDivergedSources.Load() != 0 {
+		t.Fatalf("diverged sources = %d after a clean apply, want 0", m.ClusterDivergedSources.Load())
+	}
+
+	// Corrupt text (the publisher validates, so this models wire
+	// corruption or version skew): the epoch advances, the store keeps
+	// the last good policy, and the gauge flags the pinned source.
+	f.apply(&State{Epoch: 2, Policies: []PolicyText{{Source: voSource, Text: "/O=Grid: &(action"}}})
+	if f.Epoch() != 2 {
+		t.Fatalf("epoch = %d, want 2 (keep-last-good still advances)", f.Epoch())
+	}
+	if m.ClusterDivergedSources.Load() != 1 {
+		t.Fatalf("diverged sources = %d after a parse failure, want 1", m.ClusterDivergedSources.Load())
+	}
+	if m.ClusterSyncFailures.Load() == 0 {
+		t.Error("parse failure not counted as a sync failure")
+	}
+
+	// The next epoch reverts to the last good text: the unchanged-skip
+	// path must clear the divergence, not leave the flag stuck.
+	f.apply(&State{Epoch: 3, Policies: []PolicyText{{Source: voSource, Text: permitKate}}})
+	if m.ClusterDivergedSources.Load() != 0 {
+		t.Fatalf("diverged sources = %d after healing, want 0", m.ClusterDivergedSources.Load())
+	}
 }
 
 func ctxWithTimeout(t *testing.T) context.Context {

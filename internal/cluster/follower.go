@@ -3,6 +3,7 @@ package cluster
 import (
 	"context"
 	"encoding/json"
+	"fmt"
 	"math"
 	"net"
 	"sync"
@@ -40,8 +41,20 @@ type FollowerConfig struct {
 	// Dial overrides the transport (tests inject partitions and
 	// faultinject conns); nil selects net.Dialer.
 	Dial func(ctx context.Context, addr string) (net.Conn, error)
-	// Metrics receives cluster_epoch, cluster_snapshots_applied_total
-	// and cluster_sync_failures_total. Nil selects a private sink.
+	// Auth, when set, mutually authenticates every publisher connection
+	// with the GSI handshake before any state is accepted: whatever
+	// answers the dial must prove a service-kind credential the trust
+	// store verifies, or a port squatter / MITM could inject policy and
+	// ticket secrets. Without Auth the channel MUST be confined to the
+	// trusted admin network (docs/CLUSTER.md).
+	Auth *gsi.Authenticator
+	// PublisherIdentity, when non-empty, additionally pins the verified
+	// publisher identity — any other trusted service is refused. Only
+	// meaningful with Auth set.
+	PublisherIdentity gsi.DN
+	// Metrics receives cluster_epoch, cluster_snapshots_applied_total,
+	// cluster_sync_failures_total and cluster_diverged_sources. Nil
+	// selects a private sink.
 	Metrics *obs.Metrics
 	// OnApply, when set, runs after each snapshot is fully applied
 	// (policies swapped, secrets installed), with the cluster epoch it
@@ -62,9 +75,11 @@ type Follower struct {
 	metrics *obs.Metrics
 	now     func() time.Time
 
-	mu       sync.Mutex
-	stores   map[string]*policy.Store
-	lastText map[string]string
+	mu          sync.Mutex
+	stores      map[string]*policy.Store
+	lastText    map[string]string
+	diverged    map[string]bool // sources pinned on last-good policy after a parse failure
+	incarnation string          // publisher lineage the applied epoch belongs to
 
 	epoch       atomic.Uint64
 	lastContact atomic.Int64 // UnixNano of the last received state; 0 = never
@@ -81,6 +96,7 @@ func NewFollower(cfg FollowerConfig) *Follower {
 		now:      cfg.Now,
 		stores:   make(map[string]*policy.Store),
 		lastText: make(map[string]string),
+		diverged: make(map[string]bool),
 		ready:    make(chan struct{}),
 	}
 	if f.metrics == nil {
@@ -167,8 +183,8 @@ func (f *Follower) Run(ctx context.Context) error {
 	return ctx.Err()
 }
 
-// stream runs one subscription: dial, then decode and apply states
-// until the connection breaks.
+// stream runs one subscription: dial, authenticate (when configured),
+// then decode and apply states until the connection breaks.
 func (f *Follower) stream(ctx context.Context, dial func(context.Context, string) (net.Conn, error)) error {
 	conn, err := dial(ctx, f.cfg.Addr)
 	if err != nil {
@@ -179,6 +195,18 @@ func (f *Follower) stream(ctx context.Context, dial func(context.Context, string
 	defer stop()
 
 	dec := json.NewDecoder(conn)
+	if f.cfg.Auth != nil {
+		peer, br, err := f.cfg.Auth.Handshake(conn)
+		if err != nil {
+			return err
+		}
+		if err := f.checkPublisher(peer); err != nil {
+			return err
+		}
+		// The handshake's buffered reader may already hold the first
+		// snapshot; all further reads must go through it.
+		dec = json.NewDecoder(br)
+	}
 	for {
 		var st State
 		if err := dec.Decode(&st); err != nil {
@@ -188,14 +216,43 @@ func (f *Follower) stream(ctx context.Context, dial func(context.Context, string
 	}
 }
 
+// checkPublisher decides whether the authenticated peer at the far end
+// of a replication stream is a publisher this node will accept state
+// from.
+func (f *Follower) checkPublisher(peer *gsi.Peer) error {
+	if peer.Credential == nil || peer.Credential.Leaf().Kind != gsi.KindService {
+		return fmt.Errorf("cluster: publisher %s did not present a service credential", peer.Identity)
+	}
+	if f.cfg.PublisherIdentity != "" && peer.Identity != f.cfg.PublisherIdentity {
+		return fmt.Errorf("cluster: publisher identity %s, want %s", peer.Identity, f.cfg.PublisherIdentity)
+	}
+	return nil
+}
+
 // apply installs one received state. Any contact — heartbeat or change
-// — resets the staleness clock; only a strictly newer epoch mutates
-// policy and secrets, so redelivered or reordered states are no-ops.
-// Secrets install before policies: a snapshot that both rotates the
-// ticket secret and tightens policy must not leave a window where the
-// new policy is enforced but freshly sealed tickets are unredeemable.
+// — resets the staleness clock; only a strictly newer epoch of the
+// current publisher incarnation mutates policy and secrets, so
+// redelivered or reordered states are no-ops. Secrets install before
+// policies: a snapshot that both rotates the ticket secret and tightens
+// policy must not leave a window where the new policy is enforced but
+// freshly sealed tickets are unredeemable.
 func (f *Follower) apply(st *State) {
 	f.lastContact.Store(f.now().UnixNano())
+	f.mu.Lock()
+	if st.Incarnation != "" && st.Incarnation != f.incarnation {
+		// A restarted publisher mints epochs from 1 again (the counter is
+		// in-memory on the admin host), so its states must not lose the
+		// strictly-newer comparison to the previous lineage — or a policy
+		// rolled out through the documented restart path would be
+		// silently ignored by every surviving follower while heartbeats
+		// kept them reporting fresh. Resetting the applied epoch re-opens
+		// the gate for the new incarnation; unchanged policy text is
+		// still skipped below, so adopting a lineage does not churn
+		// stores or caches.
+		f.incarnation = st.Incarnation
+		f.epoch.Store(0)
+	}
+	f.mu.Unlock()
 	if st.Epoch == 0 || st.Epoch <= f.epoch.Load() {
 		return
 	}
@@ -210,14 +267,24 @@ func (f *Follower) apply(st *State) {
 		unchanged := known && f.lastText[pt.Source] == pt.Text
 		f.mu.Unlock()
 		if unchanged {
+			// The source is back on (or never left) its last good text —
+			// e.g. a publisher reverted a snapshot this node could not
+			// parse — so it no longer diverges.
+			f.setDiverged(pt.Source, false)
 			continue
 		}
 		pol, err := policy.ParseString(pt.Text, pt.Source)
 		if err != nil {
 			// The publisher validates before broadcasting, so this is
 			// wire corruption or version skew: keep the last good
-			// policy for this source rather than dropping to empty.
+			// policy for this source rather than dropping to empty. The
+			// epoch still advances below (heartbeats carry the same
+			// state, so retrying it is pointless), which pins this
+			// source on a stale policy until the next epoch —
+			// cluster_diverged_sources makes that divergence visible so
+			// operators can tell it from transient sync noise.
 			f.metrics.ClusterSyncFailures.Inc()
+			f.setDiverged(pt.Source, true)
 			continue
 		}
 		if !known {
@@ -227,6 +294,7 @@ func (f *Follower) apply(st *State) {
 		f.mu.Lock()
 		f.lastText[pt.Source] = pt.Text
 		f.mu.Unlock()
+		f.setDiverged(pt.Source, false)
 	}
 	f.epoch.Store(st.Epoch)
 	f.metrics.ClusterEpoch.Set(int64(st.Epoch))
@@ -235,4 +303,21 @@ func (f *Follower) apply(st *State) {
 	if f.cfg.OnApply != nil {
 		f.cfg.OnApply(st.Epoch)
 	}
+}
+
+// setDiverged tracks which sources are pinned on their last good policy
+// after a snapshot parse failure and keeps the gauge in step.
+func (f *Follower) setDiverged(source string, bad bool) {
+	f.mu.Lock()
+	if bad {
+		f.diverged[source] = true
+	} else if !f.diverged[source] {
+		f.mu.Unlock()
+		return
+	} else {
+		delete(f.diverged, source)
+	}
+	n := len(f.diverged)
+	f.mu.Unlock()
+	f.metrics.ClusterDivergedSources.Set(int64(n))
 }

@@ -1,6 +1,8 @@
 package cluster
 
 import (
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"net"
@@ -19,14 +21,32 @@ import (
 // is floored by this interval (see StalenessGuard).
 const DefaultHeartbeat = time.Second
 
+// authTimeout bounds the subscriber handshake so a silent or stalled
+// dialer cannot pin a publisher goroutine forever.
+const authTimeout = 10 * time.Second
+
 // PublisherConfig tunes a Publisher.
 type PublisherConfig struct {
 	// Heartbeat is the idle resend interval (0 selects
 	// DefaultHeartbeat).
 	Heartbeat time.Duration
-	// Metrics receives cluster_snapshots_published_total. Nil selects a
-	// private, unexported sink.
+	// Metrics receives cluster_snapshots_published_total and
+	// cluster_auth_failures_total. Nil selects a private, unexported
+	// sink.
 	Metrics *obs.Metrics
+	// Auth, when set, requires every subscriber to complete the mutual
+	// GSI handshake before ANY state is sent. The replicated state
+	// includes the ticket-sealing secrets — a key that lets its holder
+	// mint resumption tickets for arbitrary identities — so without Auth
+	// the listener MUST be confined to the trusted admin network (see
+	// docs/CLUSTER.md). An authenticated subscriber must present a
+	// service-kind credential: user and proxy credentials issued by the
+	// same CA never receive cluster state.
+	Auth *gsi.Authenticator
+	// Allowed, when non-empty, further restricts authenticated
+	// subscribers to these verified identities. Empty admits any
+	// service identity the Auth trust store verifies.
+	Allowed []gsi.DN
 }
 
 // Publisher is the leader/seed side of cluster replication: the ONE
@@ -43,6 +63,8 @@ type PublisherConfig struct {
 type Publisher struct {
 	heartbeat time.Duration
 	metrics   *obs.Metrics
+	auth      *gsi.Authenticator
+	allowed   []gsi.DN
 
 	mu        sync.Mutex
 	state     State
@@ -52,7 +74,9 @@ type Publisher struct {
 	wg        sync.WaitGroup
 }
 
-// NewPublisher creates a publisher with empty state at epoch 0.
+// NewPublisher creates a publisher with empty state at epoch 0 under a
+// fresh incarnation ID (each publisher instance is a new lineage; see
+// State.Incarnation).
 func NewPublisher(cfg PublisherConfig) *Publisher {
 	if cfg.Heartbeat <= 0 {
 		cfg.Heartbeat = DefaultHeartbeat
@@ -63,10 +87,22 @@ func NewPublisher(cfg PublisherConfig) *Publisher {
 	return &Publisher{
 		heartbeat: cfg.Heartbeat,
 		metrics:   cfg.Metrics,
+		auth:      cfg.Auth,
+		allowed:   append([]gsi.DN(nil), cfg.Allowed...),
+		state:     State{Incarnation: newIncarnation()},
 		subs:      make(map[chan State]struct{}),
 		listeners: make(map[net.Listener]struct{}),
 		closed:    make(chan struct{}),
 	}
+}
+
+// newIncarnation mints a random publisher-instance ID.
+func newIncarnation() string {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic("cluster: no entropy for incarnation id: " + err.Error())
+	}
+	return hex.EncodeToString(b[:])
 }
 
 // Epoch returns the last assigned cluster epoch (0 before any change).
@@ -189,18 +225,39 @@ func (p *Publisher) Serve(l net.Listener) error {
 				return err
 			}
 		}
-		p.wg.Add(1)
+		// The Add must be mutually exclusive with Close observing the
+		// closed channel: a bare Add here could race Close's Wait at
+		// counter zero (invalid per sync.WaitGroup) and let Close return
+		// while a just-accepted subscriber goroutine still runs.
+		p.mu.Lock()
+		accepted := false
+		select {
+		case <-p.closed:
+		default:
+			p.wg.Add(1)
+			accepted = true
+		}
+		p.mu.Unlock()
+		if !accepted {
+			conn.Close()
+			continue
+		}
 		go p.serveConn(conn)
 	}
 }
 
 // serveConn streams states to one follower: the current state
 // immediately on subscribe, every change as it happens, and heartbeats
-// in between. Followers never write; a broken pipe is detected on the
-// next send (at most one heartbeat away).
+// in between. After the (optional) authentication handshake followers
+// never write; a broken pipe is detected on the next send (at most one
+// heartbeat away).
 func (p *Publisher) serveConn(conn net.Conn) {
 	defer p.wg.Done()
 	defer conn.Close()
+
+	if p.auth != nil && !p.authenticate(conn) {
+		return
+	}
 
 	ch := make(chan State, 1)
 	p.mu.Lock()
@@ -241,6 +298,43 @@ func (p *Publisher) serveConn(conn net.Conn) {
 			}
 		}
 	}
+}
+
+// authenticate runs the mutual GSI handshake with a subscriber and
+// checks the verified peer against the subscriber policy. It reports
+// whether the connection may receive state; refusals count into
+// cluster_auth_failures_total.
+func (p *Publisher) authenticate(conn net.Conn) bool {
+	_ = conn.SetDeadline(time.Now().Add(authTimeout))
+	peer, _, err := p.auth.Handshake(conn)
+	if err == nil {
+		err = p.checkSubscriber(peer)
+	}
+	_ = conn.SetDeadline(time.Time{})
+	if err != nil {
+		p.metrics.ClusterAuthFailures.Inc()
+		return false
+	}
+	return true
+}
+
+// checkSubscriber decides whether an authenticated peer may subscribe:
+// it must hold a service-kind credential (the replicated state carries
+// ticket-sealing secrets, which no user or proxy credential may see),
+// and — when an allow-list is configured — appear on it.
+func (p *Publisher) checkSubscriber(peer *gsi.Peer) error {
+	if peer.Credential == nil || peer.Credential.Leaf().Kind != gsi.KindService {
+		return fmt.Errorf("cluster: subscriber %s did not present a service credential", peer.Identity)
+	}
+	if len(p.allowed) == 0 {
+		return nil
+	}
+	for _, dn := range p.allowed {
+		if peer.Identity == dn {
+			return nil
+		}
+	}
+	return fmt.Errorf("cluster: subscriber %s is not in the allowed set", peer.Identity)
 }
 
 // Close stops serving: listeners close, subscriber streams terminate,

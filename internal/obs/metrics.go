@@ -132,6 +132,8 @@ type Metrics struct {
 
 	// Cluster replication (internal/cluster): policy-epoch propagation
 	// between gatekeeper nodes and the staleness guard.
+	ClusterAuthFailures       Counter // replication-channel peers refused by the GSI handshake or subscriber policy
+	ClusterDivergedSources    Gauge   // policy sources pinned on their last good policy after a snapshot parse failure
 	ClusterEpoch              Gauge   // last replication epoch applied by this node
 	ClusterSnapshotsApplied   Counter // replicated snapshots applied by this node's follower
 	ClusterSnapshotsPublished Counter // snapshots broadcast by this node's publisher
@@ -234,6 +236,8 @@ var descriptors = []metricDesc{
 	counterDesc("breaker_half_open_total", "circuit-breaker open to half-open transitions", func(m *Metrics) *Counter { return &m.BreakerHalfOpen }),
 	counterDesc("breaker_opened_total", "circuit-breaker transitions to open", func(m *Metrics) *Counter { return &m.BreakerOpened }),
 	counterDesc("breaker_shed_total", "calls refused by an open circuit breaker", func(m *Metrics) *Counter { return &m.BreakerShed }),
+	counterDesc("cluster_auth_failures_total", "cluster replication peers refused by the GSI handshake or subscriber policy", func(m *Metrics) *Counter { return &m.ClusterAuthFailures }),
+	gaugeDesc("cluster_diverged_sources", "policy sources pinned on their last good policy after a replicated snapshot failed to parse", func(m *Metrics) *Gauge { return &m.ClusterDivergedSources }),
 	gaugeDesc("cluster_epoch", "last cluster replication epoch applied by this node", func(m *Metrics) *Gauge { return &m.ClusterEpoch }),
 	counterDesc("cluster_snapshots_applied_total", "replicated policy snapshots applied by this node's follower", func(m *Metrics) *Counter { return &m.ClusterSnapshotsApplied }),
 	counterDesc("cluster_snapshots_published_total", "policy snapshots broadcast by this node's publisher", func(m *Metrics) *Counter { return &m.ClusterSnapshotsPublished }),
