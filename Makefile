@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race lint fuzz-smoke bench bench-obs bench-audit bench-policy conformance cluster-soak verify-audit check
+.PHONY: build test race lint analyze fuzz-smoke bench bench-obs bench-audit bench-policy conformance cluster-soak verify-audit check
 
 build:
 	$(GO) build ./...
@@ -20,12 +20,22 @@ race:
 lint:
 	$(GO) run ./cmd/authlint ./...
 
+# Static policy semantics analysis (docs/POLICY-ANALYSIS.md) over the
+# example policies, with the site file marked local so the conflict
+# pass runs — the same check CI's policy-analyze step does.
+analyze:
+	$(GO) run ./cmd/policycheck -analyze \
+		-policy examples/policies/nfc-vo.policy \
+		-policy examples/policies/nfc-local.policy \
+		-local examples/policies/nfc-local.policy
+
 # Replay the RSL fuzz corpus and probe briefly for new crashers —
 # the same smoke CI runs.
 fuzz-smoke:
 	$(GO) test ./internal/rsl/ -run '^$$' -fuzz 'FuzzParse$$' -fuzztime=10s
 	$(GO) test ./internal/rsl/ -run '^$$' -fuzz 'FuzzParseSpec$$' -fuzztime=10s
 	$(GO) test ./internal/policy/ -run '^$$' -fuzz 'FuzzCompiledEquivalence$$' -fuzztime=10s
+	$(GO) test ./internal/policy/analyze/ -run '^$$' -fuzz 'FuzzAnalyze$$' -fuzztime=10s
 
 bench:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
@@ -66,4 +76,4 @@ verify-audit:
 	CONFORMANCE_AUDIT_DIR=/tmp/gridauth-conformance-audit $(GO) test -run 'TestConformance' .
 	$(GO) run ./cmd/auditverify -dir /tmp/gridauth-conformance-audit
 
-check: build test lint
+check: build test lint analyze

@@ -20,6 +20,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"io/fs"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -31,6 +32,8 @@ import (
 	"gridauth/internal/audit"
 	"gridauth/internal/doclint"
 	"gridauth/internal/obs"
+	"gridauth/internal/policy"
+	"gridauth/internal/policy/analyze"
 )
 
 func main() {
@@ -42,6 +45,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	list := fs.Bool("list", false, "print the analyzers and exit")
 	docs := fs.Bool("docs", true, "also cross-check documentation references (doclint)")
+	pols := fs.Bool("policies", true, "also lint the repository's .policy files (parse everywhere, static analysis outside testdata)")
 	metricsOnly := fs.Bool("metrics-only", false, "only check docs/OBSERVABILITY.md against the metric catalog and exit")
 	auditOnly := fs.Bool("audit-only", false, "only check docs/AUDIT.md against the audit metric rows and gatekeeper audit flags and exit")
 	if err := fs.Parse(args); err != nil {
@@ -54,6 +58,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stdout, "%-15s %s\n", "doclint", "documentation references (paths, links, symbols) must resolve against the tree")
 		fmt.Fprintf(stdout, "%-15s %s\n", "metricsdoc", "docs/OBSERVABILITY.md's metric table must match obs.Catalog() exactly")
 		fmt.Fprintf(stdout, "%-15s %s\n", "auditdoc", "docs/AUDIT.md's metric rows and flag table must match obs.Catalog() and audit.FlagCatalog()")
+		fmt.Fprintf(stdout, "%-15s %s\n", "policylint", ".policy files must parse, and outside testdata the static semantics analyzer must find no error-severity defect")
 		return 0
 	}
 	if *metricsOnly || *auditOnly {
@@ -121,6 +126,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		n, err = runAuditDoc(stdout)
 		if err != nil {
 			fmt.Fprintln(stderr, "authlint: auditdoc:", err)
+			return 2
+		}
+		findings += n
+	}
+	if *pols {
+		n, err := runPolicyLint(stdout)
+		if err != nil {
+			fmt.Fprintln(stderr, "authlint: policylint:", err)
 			return 2
 		}
 		findings += n
@@ -291,6 +304,61 @@ func runAuditDoc(stdout io.Writer) (int, error) {
 		}
 	}
 	return findings, nil
+}
+
+// runPolicyLint walks the module tree for .policy files. Every file
+// must parse; files outside testdata directories (fixtures
+// deliberately contain defects) are additionally run through the
+// static semantics analyzer, and any error-severity finding —
+// unreachable requirements, community/local conflicts, escalation
+// holes — is a lint finding. See docs/POLICY-ANALYSIS.md.
+func runPolicyLint(stdout io.Writer) (int, error) {
+	root, err := moduleRoot()
+	if err != nil {
+		return 0, err
+	}
+	findings := 0
+	err = filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if path != root && strings.HasPrefix(d.Name(), ".") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(d.Name(), ".policy") {
+			return nil
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return err
+		}
+		rel = filepath.ToSlash(rel)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		pol, perr := policy.ParseString(string(data), rel)
+		if perr != nil {
+			fmt.Fprintf(stdout, "%s:1: policylint: %v\n", rel, perr)
+			findings++
+			return nil
+		}
+		if strings.Contains(rel, "testdata/") {
+			return nil
+		}
+		for _, f := range analyze.Analyze(policy.Compile(pol)).Findings {
+			if f.Severity < analyze.SeverityError {
+				continue
+			}
+			fmt.Fprintf(stdout, "%s:%d: policylint: %s: %s\n", f.Source, f.Line, f.Class, f.Message)
+			findings++
+		}
+		return nil
+	})
+	return findings, err
 }
 
 // moduleRoot resolves the enclosing module's directory.

@@ -8,11 +8,17 @@
 //	    -rsl "&(executable=test1)(directory=/sandbox/test)(jobtag=ADS)(count=2)"
 //
 // With -lint only, it parses the policies and prints their canonical
-// form. The exit status is 0 for permit, 1 for deny, 2 for usage or
-// policy errors.
+// form. With -analyze it runs the static semantics analyzer
+// (internal/policy/analyze) over the policy set instead of evaluating a
+// request: findings print one per line (or as JSON with -json), and the
+// exit status is 1 when any finding reaches the -fail-on severity.
+//
+// For evaluation the exit status is 0 for permit, 1 for deny, 2 for
+// usage or policy errors.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -21,6 +27,7 @@ import (
 	"gridauth/internal/core"
 	"gridauth/internal/gsi"
 	"gridauth/internal/policy"
+	"gridauth/internal/policy/analyze"
 	"gridauth/internal/rsl"
 )
 
@@ -52,6 +59,12 @@ func run(args []string) (int, error) {
 	lint := fs.Bool("lint", false, "only parse the policies and print their canonical form")
 	stats := fs.Bool("stats", false, "compile each policy and print compile time, interned-symbol and bucket counts")
 	mode := fs.String("combine", "require-all", "combination: require-all, deny-overrides, permit-overrides, first-applicable")
+	doAnalyze := fs.Bool("analyze", false, "run the static semantics analyzer over the policy set instead of evaluating a request")
+	jsonOut := fs.Bool("json", false, "with -analyze, print the report as JSON")
+	failOn := fs.String("fail-on", "error", "with -analyze, exit 1 when a finding at or above this severity exists (info, warning, error; 'none' disables)")
+	actions := fs.String("actions", strings.Join(registryActions, ","), "with -analyze, comma-separated action registry for coverage reporting (empty disables)")
+	var locals stringList
+	fs.Var(&locals, "local", "with -analyze, treat this -policy file as a local (resource-owner) source (repeatable)")
 	if err := fs.Parse(args); err != nil {
 		return 2, nil
 	}
@@ -60,6 +73,7 @@ func run(args []string) (int, error) {
 	}
 
 	var pdps []core.PDP
+	var compiled []*policy.Compiled
 	for _, path := range policies {
 		f, err := os.Open(path)
 		if err != nil {
@@ -69,6 +83,10 @@ func run(args []string) (int, error) {
 		f.Close()
 		if perr != nil {
 			return 2, perr
+		}
+		if *doAnalyze {
+			compiled = append(compiled, policy.Compile(pol))
+			continue
 		}
 		if *lint {
 			fmt.Printf("# %s: %d statements\n%s", path, len(pol.Statements), pol.Unparse())
@@ -82,6 +100,9 @@ func run(args []string) (int, error) {
 				s.Subjects, s.GroupPrefixes, s.Actions, s.ActionBuckets, s.WildcardSets, s.Symbols)
 		}
 		pdps = append(pdps, &core.PolicyPDP{Policy: pol})
+	}
+	if *doAnalyze {
+		return runAnalyze(compiled, locals, *actions, *failOn, *jsonOut)
 	}
 	if *lint {
 		return 0, nil
@@ -132,4 +153,53 @@ func run(args []string) (int, error) {
 		return 0, nil
 	}
 	return 1, nil
+}
+
+// registryActions is the default coverage registry for -analyze: the
+// four request actions the protocol defines.
+var registryActions = []string{
+	policy.ActionStart, policy.ActionCancel, policy.ActionInformation, policy.ActionSignal,
+}
+
+// runAnalyze runs the static analyzer over the compiled policy set and
+// reports findings. Exit status 1 means a finding reached the -fail-on
+// severity; 2 means the analyzer could not run as asked.
+func runAnalyze(compiled []*policy.Compiled, locals stringList, actions, failOn string, jsonOut bool) (int, error) {
+	opts := analyze.Options{LocalSources: locals}
+	if actions != "" {
+		for _, a := range strings.Split(actions, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				opts.Actions = append(opts.Actions, a)
+			}
+		}
+	}
+	var gate analyze.Severity
+	if failOn != "none" {
+		s, err := analyze.ParseSeverity(failOn)
+		if err != nil {
+			return 2, err
+		}
+		gate = s
+	}
+
+	rep := analyze.With(opts, compiled...)
+	if jsonOut {
+		out, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return 2, err
+		}
+		fmt.Println(string(out))
+	} else {
+		for _, f := range rep.Findings {
+			fmt.Println(f)
+		}
+		if rep.Skipped {
+			fmt.Println("# note: shadow and conflict passes skipped (policy set too large)")
+		}
+		fmt.Printf("# %d finding(s) in %d source(s)\n", len(rep.Findings), len(rep.Sources))
+	}
+	if gate != 0 && rep.Count(gate) > 0 {
+		return 1, nil
+	}
+	return 0, nil
 }

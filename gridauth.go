@@ -49,6 +49,7 @@ import (
 	"gridauth/internal/jobcontrol"
 	"gridauth/internal/obs"
 	"gridauth/internal/policy"
+	"gridauth/internal/policy/analyze"
 	"gridauth/internal/resilience"
 	"gridauth/internal/sandbox"
 	"gridauth/internal/vo"
@@ -354,6 +355,22 @@ func (f *Fabric) StartResource(cfg ResourceConfig) (*Resource, error) {
 		// enforced on the very next request even when decisions are
 		// cached, exactly like a VO mutation below.
 		st.OnChange(reg.InvalidateCaches)
+		if cfg.Metrics != nil {
+			// Every installed policy version is also run through the
+			// static semantics analyzer, counting its findings into
+			// policy_findings_total (docs/POLICY-ANALYSIS.md): a rule that
+			// became shadowed or a grant that became unsatisfiable by a
+			// reload shows up in monitoring even when nobody reran the
+			// offline lint. Each store is analyzed alone, so cross-source
+			// conflicts remain the cluster publisher's job.
+			store, metrics := st, cfg.Metrics
+			countFindings := func() {
+				_, compiled, _ := store.Snapshot()
+				metrics.PolicyFindings.Add(uint64(len(analyze.Analyze(compiled).Findings)))
+			}
+			countFindings() // the initially-installed policy counts too
+			store.OnChange(countFindings)
+		}
 	}
 	var voCerts []*gsi.Certificate
 	for _, v := range cfg.VOs {

@@ -6,6 +6,8 @@ import (
 
 	"gridauth/internal/gram"
 	"gridauth/internal/gsi"
+	"gridauth/internal/obs"
+	"gridauth/internal/policy"
 	"gridauth/internal/sandbox"
 	"gridauth/internal/vo"
 )
@@ -178,5 +180,51 @@ func TestSandboxOnResource(t *testing.T) {
 	}
 	if st, _ := client.Status(contact); st.State != gram.StateCanceled {
 		t.Errorf("state = %s, want CANCELED by sandbox", st.State)
+	}
+}
+
+// Every policy version installed into a bound store — the initial one
+// and every swap — is statically analyzed, with findings counted into
+// policy_findings_total.
+func TestPolicyStoreSwapCountsFindings(t *testing.T) {
+	fab, err := NewFabric("/O=Grid/CN=Test CA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := obs.NewMetrics()
+	store := policy.NewStore(policy.MustParse(
+		`/O=Grid/CN=Alice: &(action = start)(executable = sim)`, "VO"))
+	res, err := fab.StartResource(ResourceConfig{
+		Name:         "cluster.example.org",
+		Mode:         ModeCallout,
+		PolicyStores: []*policy.Store{store},
+		Metrics:      m,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Close()
+
+	if got := m.PolicyFindings.Load(); got != 0 {
+		t.Fatalf("clean initial policy counted %d findings", got)
+	}
+	// Swap in a policy whose second grant is shadowed by its first: the
+	// hook must analyze the new snapshot synchronously.
+	if err := store.UpdateText(`
+/O=Grid/CN=Alice:
+  &(action = start)(executable = sim)
+  &(action = start)(executable = sim)(count <= 4)
+`); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.PolicyFindings.Load(); got != 1 {
+		t.Fatalf("policy_findings_total = %d after shadowed swap, want 1", got)
+	}
+	// A clean swap adds nothing further.
+	if err := store.UpdateText(`/O=Grid/CN=Alice: &(action = start)(executable = sim)`); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.PolicyFindings.Load(); got != 1 {
+		t.Fatalf("policy_findings_total = %d after clean swap, want 1", got)
 	}
 }

@@ -29,7 +29,10 @@
 // no special casing.
 package cluster
 
-import "gridauth/internal/gsi"
+import (
+	"gridauth/internal/gsi"
+	"gridauth/internal/policy/analyze"
+)
 
 // PolicyText is one administrative source's policy in transportable
 // form: the text is re-parsed and re-compiled on each follower, so
@@ -64,6 +67,12 @@ type State struct {
 	// still-overlapping old versions), so any node can redeem any
 	// node's resumption tickets.
 	Secrets []gsi.SecretVersion `json:"secrets,omitempty"`
+	// Findings is the leader's static analysis of the policy set this
+	// state carries (docs/POLICY-ANALYSIS.md). It is stamped at publish
+	// time so every node — and every operator inspecting any node —
+	// sees the same diagnosis of the same epoch without re-running the
+	// analyzer per replica.
+	Findings []analyze.Finding `json:"findings,omitempty"`
 }
 
 // clone deep-copies a state so snapshots handed to subscribers are
@@ -72,6 +81,9 @@ func (s State) clone() State {
 	out := State{Incarnation: s.Incarnation, Epoch: s.Epoch}
 	if len(s.Policies) > 0 {
 		out.Policies = append([]PolicyText(nil), s.Policies...)
+	}
+	if len(s.Findings) > 0 {
+		out.Findings = append([]analyze.Finding(nil), s.Findings...)
 	}
 	for _, v := range s.Secrets {
 		out.Secrets = append(out.Secrets, gsi.SecretVersion{

@@ -12,6 +12,7 @@ import (
 	"gridauth/internal/core"
 	"gridauth/internal/gsi"
 	"gridauth/internal/obs"
+	"gridauth/internal/policy/analyze"
 	"gridauth/internal/resilience"
 	"gridauth/internal/rsl"
 )
@@ -570,5 +571,103 @@ func TestApplyIgnoresStaleAndDuplicateEpochs(t *testing.T) {
 	f.apply(&State{Epoch: 7, Policies: []PolicyText{{Source: "local", Text: permitKate}}})
 	if pol, _, _ := f.Store("local").Snapshot(); pol == nil || len(pol.Statements) == 0 {
 		t.Fatal("undeclared source not materialized")
+	}
+}
+
+// The leader analyzes the full policy set on every publish: a
+// community grant that a local (resource-owner) source always denies
+// raises cluster_policy_findings on the leader, the finding travels in
+// the replicated state to every follower, and a clean republish clears
+// it everywhere.
+func TestAnalysisFindingsReplicate(t *testing.T) {
+	const siteSource = "site:local" // "local" selects the resource-owner partition
+
+	const conflictVO = `
+/O=Grid/O=Globus/OU=acme.org/CN=Dave: &(action = start)(jobtag = HPC)
+`
+	const siteBan = `
+/O=Grid/O=Globus/OU=acme.org: &(action = start)(jobtag != HPC)
+`
+	const siteClean = `
+/O=Grid/O=Globus/OU=acme.org: &(action = start)(count <= 64)
+`
+
+	pm := obs.NewMetrics()
+	pub, addr := startPublisher(t, PublisherConfig{Heartbeat: 20 * time.Millisecond, Metrics: pm})
+
+	fm := obs.NewMetrics()
+	f := NewFollower(FollowerConfig{
+		Addr:    addr,
+		Sources: []string{voSource, siteSource},
+		Retry:   fastRetry,
+		Metrics: fm,
+	})
+	runFollower(t, f)
+
+	if _, err := pub.SetPolicy(voSource, conflictVO); err != nil {
+		t.Fatal(err)
+	}
+	if pm.ClusterPolicyFindings.Load() != 0 {
+		t.Fatalf("findings before the local ban: %v", pub.Findings())
+	}
+	epoch, err := pub.SetPolicy(siteSource, siteBan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := pm.ClusterPolicyFindings.Load(); got != 1 {
+		t.Fatalf("leader cluster_policy_findings = %d, want 1: %v", got, pub.Findings())
+	}
+
+	waitFor(t, "follower to apply the conflicting policy set", func() bool {
+		return f.Epoch() >= epoch
+	})
+	finds := f.Findings()
+	if len(finds) != 1 || finds[0].Class != "conflict" || finds[0].Source != voSource {
+		t.Fatalf("follower findings = %+v, want one conflict against %s", finds, voSource)
+	}
+	if got := fm.ClusterPolicyFindings.Load(); got != 1 {
+		t.Fatalf("follower cluster_policy_findings = %d, want 1", got)
+	}
+
+	// Republishing a compatible local policy clears the diagnosis on
+	// both sides.
+	epoch2, err := pub.SetPolicy(siteSource, siteClean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := pm.ClusterPolicyFindings.Load(); got != 0 {
+		t.Fatalf("leader gauge not cleared: %d: %v", got, pub.Findings())
+	}
+	waitFor(t, "follower to apply the clean policy set", func() bool {
+		return f.Epoch() >= epoch2
+	})
+	if finds := f.Findings(); len(finds) != 0 {
+		t.Fatalf("follower findings not cleared: %+v", finds)
+	}
+	if got := fm.ClusterPolicyFindings.Load(); got != 0 {
+		t.Fatalf("follower gauge not cleared: %d", got)
+	}
+}
+
+// With FailOn set the publisher refuses a change whose analysis reaches
+// the gate, leaving state, epoch and followers untouched.
+func TestPublisherFailOnGate(t *testing.T) {
+	pub := NewPublisher(PublisherConfig{FailOn: analyze.SeverityError})
+	if _, err := pub.SetPolicy(voSource, permitKate); err != nil {
+		t.Fatal(err)
+	}
+	before := pub.State()
+
+	const selfGrant = `
+/O=Grid/O=VO/CN=Admin: &(action = grant)(grantee = self)
+`
+	if _, err := pub.SetPolicy("VO:admin", selfGrant); err == nil {
+		t.Fatal("gated publish succeeded")
+	} else if !strings.Contains(err.Error(), "escalation") {
+		t.Fatalf("gate error does not name the finding: %v", err)
+	}
+	after := pub.State()
+	if after.Epoch != before.Epoch || len(after.Policies) != len(before.Policies) || len(after.Findings) != 0 {
+		t.Fatalf("refused publish mutated state: %+v -> %+v", before, after)
 	}
 }

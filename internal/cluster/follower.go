@@ -13,6 +13,7 @@ import (
 	"gridauth/internal/gsi"
 	"gridauth/internal/obs"
 	"gridauth/internal/policy"
+	"gridauth/internal/policy/analyze"
 	"gridauth/internal/resilience"
 )
 
@@ -80,6 +81,7 @@ type Follower struct {
 	lastText    map[string]string
 	diverged    map[string]bool // sources pinned on last-good policy after a parse failure
 	incarnation string          // publisher lineage the applied epoch belongs to
+	findings    []analyze.Finding
 
 	epoch       atomic.Uint64
 	lastContact atomic.Int64 // UnixNano of the last received state; 0 = never
@@ -129,6 +131,15 @@ func (f *Follower) Store(source string) *policy.Store {
 // first snapshot).
 func (f *Follower) Epoch() uint64 {
 	return f.epoch.Load()
+}
+
+// Findings returns the leader's static-analysis findings carried by the
+// last applied state, so the policy diagnosis is inspectable on any
+// replica without re-running the analyzer there.
+func (f *Follower) Findings() []analyze.Finding {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]analyze.Finding(nil), f.findings...)
 }
 
 // Staleness reports how long ago the publisher was last heard from —
@@ -296,6 +307,10 @@ func (f *Follower) apply(st *State) {
 		f.mu.Unlock()
 		f.setDiverged(pt.Source, false)
 	}
+	f.mu.Lock()
+	f.findings = append(f.findings[:0:0], st.Findings...)
+	f.mu.Unlock()
+	f.metrics.ClusterPolicyFindings.Set(int64(len(st.Findings)))
 	f.epoch.Store(st.Epoch)
 	f.metrics.ClusterEpoch.Set(int64(st.Epoch))
 	f.metrics.ClusterSnapshotsApplied.Inc()

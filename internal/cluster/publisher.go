@@ -12,6 +12,7 @@ import (
 	"gridauth/internal/gsi"
 	"gridauth/internal/obs"
 	"gridauth/internal/policy"
+	"gridauth/internal/policy/analyze"
 )
 
 // DefaultHeartbeat is how often the publisher resends the current state
@@ -47,6 +48,21 @@ type PublisherConfig struct {
 	// subscribers to these verified identities. Empty admits any
 	// service identity the Auth trust store verifies.
 	Allowed []gsi.DN
+	// Analyze configures the leader-side static semantics analysis that
+	// runs over the FULL policy set on every SetPolicy. The findings are
+	// stamped into the published State (so every replica sees the same
+	// diagnosis of the same epoch) and counted into the
+	// cluster_policy_findings gauge. The zero value enables the analysis
+	// with default options; sources whose name contains "local" are
+	// treated as resource-owner sources unless LocalSources says
+	// otherwise.
+	Analyze analyze.Options
+	// FailOn, when non-zero, makes SetPolicy REFUSE a change whose
+	// analysis produces a finding at or above this severity — the
+	// cluster equivalent of a failing pre-publish lint. The state and
+	// epoch are untouched on refusal, so followers never see the
+	// offending policy.
+	FailOn analyze.Severity
 }
 
 // Publisher is the leader/seed side of cluster replication: the ONE
@@ -65,6 +81,8 @@ type Publisher struct {
 	metrics   *obs.Metrics
 	auth      *gsi.Authenticator
 	allowed   []gsi.DN
+	analyze   analyze.Options
+	failOn    analyze.Severity
 
 	mu        sync.Mutex
 	state     State
@@ -89,6 +107,8 @@ func NewPublisher(cfg PublisherConfig) *Publisher {
 		metrics:   cfg.Metrics,
 		auth:      cfg.Auth,
 		allowed:   append([]gsi.DN(nil), cfg.Allowed...),
+		analyze:   cfg.Analyze,
+		failOn:    cfg.FailOn,
 		state:     State{Incarnation: newIncarnation()},
 		subs:      make(map[chan State]struct{}),
 		listeners: make(map[net.Listener]struct{}),
@@ -122,28 +142,88 @@ func (p *Publisher) State() State {
 // SetPolicy installs (or replaces) the policy text of one
 // administrative source, assigns the next epoch and broadcasts. The
 // text is parse-validated HERE, on the leader, so a syntax error never
-// reaches — let alone diverges — the followers.
+// reaches — let alone diverges — the followers; the full resulting
+// policy set is then run through the static semantics analyzer
+// (internal/policy/analyze) and the findings are stamped into the
+// published state. When PublisherConfig.FailOn is set and a finding
+// reaches it, the change is refused with the findings in the error and
+// the cluster state stays untouched.
 func (p *Publisher) SetPolicy(source, text string) (uint64, error) {
 	if _, err := policy.ParseString(text, source); err != nil {
 		return 0, fmt.Errorf("cluster: refusing to publish %s: %w", source, err)
 	}
 	p.mu.Lock()
-	replaced := false
-	for i := range p.state.Policies {
-		if p.state.Policies[i].Source == source {
-			p.state.Policies[i].Text = text
-			replaced = true
+	defer p.mu.Unlock()
+
+	// Analyze the candidate set (current sources with this change
+	// swapped in) before mutating anything, so a gated refusal leaves
+	// the replicated state exactly as it was.
+	candidate := append([]PolicyText(nil), p.state.Policies...)
+	replacedAt := -1
+	for i := range candidate {
+		if candidate[i].Source == source {
+			replacedAt = i
 			break
 		}
 	}
-	if !replaced {
-		p.state.Policies = append(p.state.Policies, PolicyText{Source: source, Text: text})
+	if replacedAt >= 0 {
+		candidate[replacedAt].Text = text
+	} else {
+		candidate = append(candidate, PolicyText{Source: source, Text: text})
 	}
+	rep, err := analyzeSet(p.analyze, candidate)
+	if err != nil {
+		return 0, fmt.Errorf("cluster: refusing to publish %s: %w", source, err)
+	}
+	if p.failOn != 0 && rep.Count(p.failOn) > 0 {
+		return 0, fmt.Errorf("cluster: refusing to publish %s: %d finding(s) at or above %s, first: %s",
+			source, rep.Count(p.failOn), p.failOn, firstAtOrAbove(rep, p.failOn))
+	}
+
+	p.state.Policies = candidate
+	p.state.Findings = rep.Findings
+	p.metrics.ClusterPolicyFindings.Set(int64(len(rep.Findings)))
 	p.state.Epoch++
 	epoch := p.state.Epoch
 	p.broadcastLocked()
-	p.mu.Unlock()
 	return epoch, nil
+}
+
+// Findings returns the analyzer findings stamped into the current
+// state (those of the last successful SetPolicy).
+func (p *Publisher) Findings() []analyze.Finding {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]analyze.Finding(nil), p.state.Findings...)
+}
+
+// analyzeSet compiles every source of a candidate policy set and runs
+// the static analyzer over them together, so cross-source passes (the
+// community-versus-local conflict detection) see the whole cluster
+// policy. Texts were parse-validated when they entered the state, so a
+// parse error here is a publisher bug, not an operator error.
+func analyzeSet(opts analyze.Options, set []PolicyText) (*analyze.Report, error) {
+	compiled := make([]*policy.Compiled, 0, len(set))
+	for _, pt := range set {
+		pol, err := policy.ParseString(pt.Text, pt.Source)
+		if err != nil {
+			return nil, err
+		}
+		compiled = append(compiled, policy.Compile(pol))
+	}
+	return analyze.With(opts, compiled...), nil
+}
+
+// firstAtOrAbove returns the first finding at or above min, for error
+// messages. Findings are sorted most severe first, so it is the lead
+// diagnosis.
+func firstAtOrAbove(rep *analyze.Report, min analyze.Severity) string {
+	for _, f := range rep.Findings {
+		if f.Severity >= min {
+			return f.String()
+		}
+	}
+	return ""
 }
 
 // ShareSecret publishes one GSI ticket-secret version to the cluster

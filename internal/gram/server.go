@@ -239,7 +239,20 @@ func NewGatekeeper(cfg Config) (*Gatekeeper, error) {
 func (g *Gatekeeper) Serve(l net.Listener) error {
 	g.mu.Lock()
 	g.listener = l
+	// Close may have run before the listener was registered, in which
+	// case it had nothing to close and the accept loop below would block
+	// forever on a listener nobody will ever shut.
+	alreadyClosed := false
+	select {
+	case <-g.closed:
+		alreadyClosed = true
+	default:
+	}
 	g.mu.Unlock()
+	if alreadyClosed {
+		_ = l.Close()
+		return nil
+	}
 	for {
 		conn, err := l.Accept()
 		if err != nil {

@@ -130,11 +130,16 @@ type Metrics struct {
 	TicketsOldSecret Counter // tickets redeemed under a superseded secret inside its overlap window
 	TicketsRejected  Counter // resumption tickets refused at redemption (bad seal, expiry, unknown or retired secret version)
 
+	// Policy static analysis (internal/policy/analyze): findings counted
+	// each time an analyzed policy snapshot is installed in the store.
+	PolicyFindings Counter // analyzer findings observed at policy install time
+
 	// Cluster replication (internal/cluster): policy-epoch propagation
 	// between gatekeeper nodes and the staleness guard.
 	ClusterAuthFailures       Counter // replication-channel peers refused by the GSI handshake or subscriber policy
 	ClusterDivergedSources    Gauge   // policy sources pinned on their last good policy after a snapshot parse failure
 	ClusterEpoch              Gauge   // last replication epoch applied by this node
+	ClusterPolicyFindings     Gauge   // analyzer findings in the current replicated policy state
 	ClusterSnapshotsApplied   Counter // replicated snapshots applied by this node's follower
 	ClusterSnapshotsPublished Counter // snapshots broadcast by this node's publisher
 	ClusterSyncFailures       Counter // failed publisher connection/stream attempts
@@ -239,6 +244,7 @@ var descriptors = []metricDesc{
 	counterDesc("cluster_auth_failures_total", "cluster replication peers refused by the GSI handshake or subscriber policy", func(m *Metrics) *Counter { return &m.ClusterAuthFailures }),
 	gaugeDesc("cluster_diverged_sources", "policy sources pinned on their last good policy after a replicated snapshot failed to parse", func(m *Metrics) *Gauge { return &m.ClusterDivergedSources }),
 	gaugeDesc("cluster_epoch", "last cluster replication epoch applied by this node", func(m *Metrics) *Gauge { return &m.ClusterEpoch }),
+	gaugeDesc("cluster_policy_findings", "static-analyzer findings in the current replicated policy state", func(m *Metrics) *Gauge { return &m.ClusterPolicyFindings }),
 	counterDesc("cluster_snapshots_applied_total", "replicated policy snapshots applied by this node's follower", func(m *Metrics) *Counter { return &m.ClusterSnapshotsApplied }),
 	counterDesc("cluster_snapshots_published_total", "policy snapshots broadcast by this node's publisher", func(m *Metrics) *Counter { return &m.ClusterSnapshotsPublished }),
 	counterDesc("cluster_stale_refusals_total", "decisions refused by the staleness guard with the replica beyond max-staleness", func(m *Metrics) *Counter { return &m.ClusterStaleRefusals }),
@@ -252,6 +258,7 @@ var descriptors = []metricDesc{
 	counterDesc("gsi_handshakes_resumed_total", "session-resumed GSI handshakes", func(m *Metrics) *Counter { return &m.HandshakesResumed }),
 	counterDesc("gsi_tickets_old_secret_total", "resumption tickets redeemed under a superseded ring secret inside its rotation overlap window", func(m *Metrics) *Counter { return &m.TicketsOldSecret }),
 	counterDesc("gsi_tickets_rejected_total", "resumption tickets refused at redemption (bad seal, expiry, unknown or retired secret version)", func(m *Metrics) *Counter { return &m.TicketsRejected }),
+	counterDesc("policy_findings_total", "static-analyzer findings observed at policy install time", func(m *Metrics) *Counter { return &m.PolicyFindings }),
 }
 
 // Catalog returns the documented metric set, sorted by name.

@@ -1,0 +1,166 @@
+package analyze_test
+
+import (
+	"encoding/json"
+	"os"
+	"strings"
+	"testing"
+
+	"gridauth/internal/policy"
+	"gridauth/internal/policy/analyze"
+	"gridauth/internal/rsl"
+	"gridauth/internal/workload"
+)
+
+func read(t *testing.T, file string) string {
+	t.Helper()
+	data, err := os.ReadFile(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+// The NFC workload policies (the paper's running example, VO plus local
+// source) are semantically clean: any finding would be a false
+// positive.
+func TestWorkloadPoliciesClean(t *testing.T) {
+	vo, err := workload.NFCPolicy(workload.NFCUsers(5, 5, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, err := workload.NFCLocalPolicy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := analyze.Analyze(policy.Compile(vo), policy.Compile(local))
+	for _, f := range rep.Findings {
+		t.Errorf("false positive on NFC workload: %s", f)
+	}
+	for _, gen := range []func(int) *policy.Policy{
+		workload.ExactHeavyPolicy, workload.PrefixHeavyPolicy, workload.RequirementHeavyPolicy,
+	} {
+		pol := gen(64)
+		rep := analyze.Analyze(policy.Compile(pol))
+		for _, f := range rep.Findings {
+			t.Errorf("false positive on %s: %s", pol.Source, f)
+		}
+	}
+}
+
+// TestP12Differential plants a literally duplicated grant in a P12
+// workload policy: the analyzer must flag exactly the duplicate as
+// shadowed, and deleting it must leave every decision unchanged over
+// the P12 permit-path request set and the probing corpus.
+func TestP12Differential(t *testing.T) {
+	pol := workload.ExactHeavyPolicy(50)
+	victim := pol.Statements[7]
+	victim.Sets = append(victim.Sets, victim.Sets[0])
+
+	rep := analyze.Analyze(policy.Compile(pol))
+	shadows := rep.ByClass(analyze.ClassShadow)
+	if len(shadows) != 1 {
+		t.Fatalf("got %d shadow findings, want 1: %v", len(shadows), rep.Findings)
+	}
+	f := shadows[0]
+	if f.Subject != victim.Subject || f.Set != 1 || !f.Deletable {
+		t.Fatalf("wrong shadow finding: %+v", f)
+	}
+
+	tomb := analyze.Tombstone(pol, f.Stmt, f.Set)
+	reqs := append(workload.P12Requests(pol, 200), analyze.GenRequests(pol)...)
+	cBefore, cAfter := policy.Compile(pol), policy.Compile(tomb)
+	for i := range reqs {
+		req := &reqs[i]
+		before, after := pol.Evaluate(req), tomb.Evaluate(req)
+		if got := cBefore.Evaluate(req); got != before {
+			t.Fatalf("compiled/interpreted divergence before deletion: %+v vs %+v", got, before)
+		}
+		if got := cAfter.Evaluate(req); got != after {
+			t.Fatalf("compiled/interpreted divergence after deletion: %+v vs %+v", got, after)
+		}
+		if !analyze.DecisionsEquivalent(req, before, after, f.Label) {
+			t.Fatalf("deleting shadowed %s changed a decision:\nreq:    %+v\nbefore: %+v\nafter:  %+v",
+				f.Label, req, before, after)
+		}
+	}
+}
+
+// DecisionsEquivalent must reject a deletion that actually changes
+// semantics — otherwise the differential harness proves nothing.
+func TestDecisionsEquivalentRejectsRealDeletion(t *testing.T) {
+	pol := policy.MustParse(read(t, "testdata/fig3.policy"), "VO:NFC")
+	// Kate's cancel grant is live: statement 2, set 1.
+	tomb := analyze.Tombstone(pol, 2, 1)
+	req := &policy.Request{
+		Subject: "/O=Grid/O=Globus/OU=mcs.anl.gov/CN=Kate Keahey",
+		Action:  policy.ActionCancel,
+		Spec:    mustSpec(t, "&(jobtag=NFC)"),
+	}
+	before, after := pol.Evaluate(req), tomb.Evaluate(req)
+	if !before.Allowed || after.Allowed {
+		t.Fatalf("test premise broken: before=%+v after=%+v", before, after)
+	}
+	label := "/O=Grid/O=Globus/OU=mcs.anl.gov/CN=Kate Keahey#1"
+	if analyze.DecisionsEquivalent(req, before, after, label) {
+		t.Fatal("DecisionsEquivalent accepted deleting a live grant")
+	}
+}
+
+func mustSpec(t *testing.T, s string) *rsl.Spec {
+	t.Helper()
+	spec, err := rsl.ParseSpec(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return spec
+}
+
+func TestSeverity(t *testing.T) {
+	for _, s := range []analyze.Severity{analyze.SeverityInfo, analyze.SeverityWarning, analyze.SeverityError} {
+		got, err := analyze.ParseSeverity(s.String())
+		if err != nil || got != s {
+			t.Errorf("ParseSeverity(%q) = %v, %v", s.String(), got, err)
+		}
+	}
+	if _, err := analyze.ParseSeverity("fatal"); err == nil {
+		t.Error("ParseSeverity accepted an unknown name")
+	}
+	b, err := json.Marshal(analyze.Finding{Severity: analyze.SeverityError, Message: "m"})
+	if err != nil || !strings.Contains(string(b), `"severity":"error"`) {
+		t.Errorf("finding JSON: %s, %v", b, err)
+	}
+	var f analyze.Finding
+	if err := json.Unmarshal(b, &f); err != nil || f.Severity != analyze.SeverityError {
+		t.Errorf("round-trip: %+v, %v", f, err)
+	}
+}
+
+func TestReportHelpers(t *testing.T) {
+	pol := policy.MustParse(read(t, "testdata/unreachable.policy"), "u")
+	rep := analyze.Analyze(policy.Compile(pol))
+	if rep.Max() != analyze.SeverityError {
+		t.Errorf("Max = %v, want error", rep.Max())
+	}
+	if rep.Count(analyze.SeverityError) == 0 || rep.Count(analyze.SeverityInfo) < rep.Count(analyze.SeverityError) {
+		t.Errorf("Count inconsistent: info=%d error=%d", rep.Count(analyze.SeverityInfo), rep.Count(analyze.SeverityError))
+	}
+	if len(rep.ByClass(analyze.ClassUnreachable)) == 0 {
+		t.Error("no unreachable findings on the unreachable fixture")
+	}
+	empty := analyze.Analyze(nil)
+	if len(empty.Findings) != 0 || empty.Max() != 0 {
+		t.Errorf("nil source not clean: %+v", empty)
+	}
+}
+
+// Findings carry the source line of the set they flag (satellite:
+// positions threaded through policy.Parse).
+func TestFindingPositions(t *testing.T) {
+	rep := analyze.Analyze(policy.Compile(policy.MustParse(read(t, "testdata/unreachable.policy"), "u")))
+	for _, f := range rep.Findings {
+		if f.Line <= 0 {
+			t.Errorf("finding without a line: %s", f)
+		}
+	}
+}

@@ -1,0 +1,185 @@
+package analyze
+
+import (
+	"fmt"
+	"strings"
+
+	"gridauth/internal/gsi"
+	"gridauth/internal/policy"
+	"gridauth/internal/rsl"
+)
+
+// The conflict pass checks the community-vs-local tension the paper
+// centres on: under the core combiners (require-all-permit,
+// deny-overrides) a local Deny always beats a community Permit, so a
+// community grant whose every request the local policy provably denies
+// is dead on arrival — the VO believes it granted something the site
+// never honours. Two provable shapes:
+//
+//  1. A local requirement that applies to the grant's whole subject
+//     cone and whose conjunction is jointly unsatisfiable with the
+//     grant: every community-permitted request violates it.
+//  2. Every local grant that could co-apply is jointly unsatisfiable
+//     with (or action-disjoint from) the community grant, while at
+//     least one always action-matches, so the local source answers
+//     Deny (not an abstention) for every community-permitted request.
+
+// conflicts runs the cross-source pass. Sources named by
+// Options.LocalSources (default: labels containing "local") are the
+// resource owner's; the rest are community policies.
+func (a *analyzer) conflicts() {
+	locals, communities := a.partition()
+	if len(locals) == 0 || len(communities) == 0 {
+		return
+	}
+	for _, cs := range communities {
+		for _, infos := range cs.sets {
+			for _, g := range infos {
+				if g.isReq || g.unsat {
+					continue
+				}
+				for _, ls := range locals {
+					if f, ok := conflictWith(g, cs, ls); ok {
+						a.add(f)
+					}
+				}
+			}
+		}
+	}
+}
+
+// partition splits the analyzed sources into local and community sets.
+func (a *analyzer) partition() (locals, communities []*srcInfo) {
+	isLocal := func(label string) bool {
+		if len(a.opts.LocalSources) > 0 {
+			for _, l := range a.opts.LocalSources {
+				if l == label {
+					return true
+				}
+			}
+			return false
+		}
+		return strings.Contains(strings.ToLower(label), "local")
+	}
+	for _, s := range a.srcs {
+		if isLocal(s.pol.Source) {
+			locals = append(locals, s)
+		} else {
+			communities = append(communities, s)
+		}
+	}
+	return locals, communities
+}
+
+// conflictWith proves (or declines to prove) that the local source ls
+// denies every request the community grant g permits.
+func conflictWith(g *setInfo, cs, ls *srcInfo) (Finding, bool) {
+	subject := g.st.Subject
+	mk := func(related *setInfo, msg string) Finding {
+		f := Finding{
+			Class:    ClassConflict,
+			Severity: SeverityError,
+			Source:   cs.pol.Source,
+			Subject:  subject,
+			Line:     g.set.Line,
+			Label:    g.label(),
+			Stmt:     g.si,
+			Set:      g.gi,
+			Message:  msg,
+		}
+		if related != nil {
+			f.Related = related.label()
+		}
+		return f
+	}
+
+	// Shape 1: an always-firing, never-satisfiable local requirement.
+	for i, lst := range ls.pol.Statements {
+		if !subject.HasPrefix(lst.Subject) {
+			continue // does not constrain the whole subject cone
+		}
+		for _, r := range ls.sets[i] {
+			if !r.isReq {
+				continue
+			}
+			if !actionCovers(r, g) {
+				continue // the requirement may not fire on every grant action
+			}
+			if reason, bad := jointlyUnsat(g, r); bad {
+				return mk(r, fmt.Sprintf(
+					"community grant can never take effect: every request it permits violates local requirement %s of source %q (%s); under require-all-permit and deny-overrides combination the local deny wins",
+					r.label(), ls.pol.Source, reason)), true
+			}
+		}
+	}
+
+	// Shape 2: the local source always answers Deny because no local
+	// grant can co-permit, while at least one always action-matches.
+	anchored := false
+	for i, lst := range ls.pol.Statements {
+		if !comparableDN(lst.Subject, subject) {
+			continue // never applies to an identity the grant covers
+		}
+		wholeCone := subject.HasPrefix(lst.Subject)
+		for _, l := range ls.sets[i] {
+			if l.isReq {
+				continue
+			}
+			if actionDisjoint(g, l) {
+				continue // never applicable to a community-permitted request
+			}
+			if _, bad := jointlyUnsat(g, l); !bad {
+				return Finding{}, false // l might permit some request: no claim
+			}
+			if wholeCone && actionCovers(l, g) {
+				anchored = true // l sees (and denies) every such request
+			}
+		}
+	}
+	if anchored {
+		return mk(nil, fmt.Sprintf(
+			"community grant permits requests local source %q always denies: every local grant that could apply is contradictory with it; under require-all-permit and deny-overrides combination the local deny wins",
+			ls.pol.Source)), true
+	}
+	return Finding{}, false
+}
+
+// jointlyUnsat folds the non-action clauses of both sets together and
+// looks for a contradiction: no single request can satisfy both.
+func jointlyUnsat(a, b *setInfo) (string, bool) {
+	clauses := make([]*rsl.Relation, 0, len(a.set.Clauses)+len(b.set.Clauses))
+	clauses = append(clauses, a.set.Clauses...)
+	clauses = append(clauses, b.set.Clauses...)
+	m, order := foldClauses(clauses, true)
+	_, reason, _, bad := unsatisfiable(m, order)
+	return reason, bad
+}
+
+// actionDisjoint reports that no action can match both sets' selectors:
+// both carry pure-literal equality selectors with an empty intersection.
+func actionDisjoint(a, b *setInfo) bool {
+	ca, cb := a.fold[policy.AttrAction], b.fold[policy.AttrAction]
+	if ca == nil || cb == nil || !ca.hasEq || !cb.hasEq || !ca.eqExact || !cb.eqExact {
+		return false
+	}
+	for _, t := range ca.eq {
+		if t.self {
+			return false
+		}
+		if containsToken(cb.eq, t) {
+			return false
+		}
+	}
+	for _, t := range cb.eq {
+		if t.self {
+			return false
+		}
+	}
+	return true
+}
+
+// comparableDN reports that the two subject prefixes share a cone: one
+// is a prefix of (or equal to) the other.
+func comparableDN(a, b gsi.DN) bool {
+	return a.HasPrefix(b) || b.HasPrefix(a)
+}

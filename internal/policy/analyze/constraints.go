@@ -1,0 +1,437 @@
+package analyze
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"gridauth/internal/policy"
+	"gridauth/internal/rsl"
+)
+
+// The analyzer reasons about assertion sets through a per-attribute
+// normal form ("cons") folded from the set's clauses. Every claim it
+// derives — a conjunction is unsatisfiable, one conjunction implies
+// another — must hold under the evaluator's exact semantics
+// (clauseSatisfied): `= NULL` means absent, `!= NULL` means present and
+// non-empty, ordering clauses are limits that absent attributes pass,
+// and comparisons are numeric when both sides parse as numbers and
+// byte-wise otherwise. Where the semantics admit ambiguity (the `self`
+// value resolves to the requesting identity, mixed numeric/string
+// bounds), the fold tracks the uncertainty and the checks decline to
+// claim anything — a false "could not prove" is always safe, a false
+// "proved" never is.
+
+// token is one policy-side value after resolution: either the literal
+// string the evaluator compares against, or the special `self` marker
+// whose runtime value is the requesting identity. Two equal tokens
+// always evaluate to the same string on the same request, so syntactic
+// subset arguments carry over to runtime without knowing the subject.
+type token struct {
+	self bool
+	s    string
+}
+
+func (t token) equal(o token) bool { return t.self == o.self && (t.self || t.s == o.s) }
+
+func (t token) String() string {
+	if t.self {
+		return policy.ValueSelf
+	}
+	return t.s
+}
+
+func containsToken(ts []token, t token) bool {
+	for _, o := range ts {
+		if o.equal(t) {
+			return true
+		}
+	}
+	return false
+}
+
+func hasSelfToken(ts []token) bool {
+	for _, t := range ts {
+		if t.self {
+			return true
+		}
+	}
+	return false
+}
+
+// bound is one ordering limit on an attribute.
+type bound struct {
+	op  rsl.Op
+	val token
+}
+
+func (b bound) upper() bool  { return b.op == rsl.OpLt || b.op == rsl.OpLe }
+func (b bound) strict() bool { return b.op == rsl.OpLt || b.op == rsl.OpGt }
+
+// cons is the folded constraint an assertion set places on one
+// attribute.
+type cons struct {
+	attr   string
+	always bool // synthesized on every request (action, jobowner)
+
+	hasEq   bool
+	eq      []token // intersection of all (attr = v ...) value lists
+	eqExact bool    // intersection is provably the exact allowed set
+	eqNull  bool    // (attr = NULL): the attribute must be absent
+	neqNull bool    // (attr != NULL): present with every value non-empty
+	neq     []token // union of forbidden values
+	bounds  []bound
+	deadOp  bool // clause operator the evaluator never satisfies
+}
+
+// alwaysPresent lists attributes the evaluator synthesizes on every
+// request, so `= NULL` can never match and limits always apply.
+func alwaysPresent(attr string) bool {
+	return attr == policy.AttrAction || attr == policy.AttrJobowner
+}
+
+// resolveValues maps clause values to tokens the way the evaluator
+// resolves them: NULL is reported separately, `self` becomes a self
+// token, and variables resolve against the empty substitution.
+func resolveValues(vals []rsl.Value) (toks []token, sawNull bool) {
+	for _, v := range vals {
+		switch v.Literal {
+		case policy.ValueNull:
+			sawNull = true
+		case policy.ValueSelf:
+			toks = append(toks, token{self: true})
+		default:
+			toks = append(toks, token{s: v.Resolve(nil)})
+		}
+	}
+	return toks, sawNull
+}
+
+// foldClauses normalizes clauses into per-attribute constraints, in
+// first-appearance order. skipAction drops action-selector clauses so
+// two sets' non-action conjunctions can be folded together.
+func foldClauses(clauses []*rsl.Relation, skipAction bool) (map[string]*cons, []string) {
+	m := make(map[string]*cons)
+	var order []string
+	for _, cl := range clauses {
+		if skipAction && cl.Attribute == policy.AttrAction {
+			continue
+		}
+		c := m[cl.Attribute]
+		if c == nil {
+			c = &cons{attr: cl.Attribute, always: alwaysPresent(cl.Attribute), eqExact: true}
+			m[cl.Attribute] = c
+			order = append(order, cl.Attribute)
+		}
+		toks, sawNull := resolveValues(cl.Values)
+		switch cl.Op {
+		case rsl.OpEq:
+			if sawNull && len(toks) == 0 {
+				c.eqNull = true
+				continue
+			}
+			if !c.hasEq {
+				c.hasEq = true
+				c.eq = toks
+				continue
+			}
+			c.eq = c.intersect(c.eq, toks)
+		case rsl.OpNeq:
+			if sawNull && len(toks) == 0 {
+				c.neqNull = true
+				continue
+			}
+			c.neq = append(c.neq, toks...)
+		case rsl.OpLt, rsl.OpLe, rsl.OpGt, rsl.OpGe:
+			for _, t := range toks {
+				c.bounds = append(c.bounds, bound{op: cl.Op, val: t})
+			}
+		default:
+			// The evaluator returns false for any other operator, so the
+			// whole conjunction can never be satisfied.
+			c.deadOp = true
+		}
+	}
+	return m, order
+}
+
+// intersect narrows the allowed-value set by another equality clause's
+// value list. A drop that involves `self` on either side may be wrong at
+// runtime (the subject could equal the literal), so it voids exactness.
+func (c *cons) intersect(a, b []token) []token {
+	var out []token
+	selfA, selfB := hasSelfToken(a), hasSelfToken(b)
+	for _, t := range a {
+		if containsToken(b, t) {
+			out = append(out, t)
+			continue
+		}
+		if t.self || selfB {
+			c.eqExact = false
+		}
+	}
+	for _, t := range b {
+		if !containsToken(a, t) && (t.self || selfA) {
+			c.eqExact = false
+		}
+	}
+	return out
+}
+
+// provablyFails reports that the literal value t can never pass the
+// constraint's own negative clauses and limits.
+func provablyFails(t token, c *cons) bool {
+	if t.self {
+		return false
+	}
+	if c.neqNull && t.s == "" {
+		return true
+	}
+	for _, f := range c.neq {
+		if !f.self && f.s == t.s {
+			return true
+		}
+	}
+	for _, b := range c.bounds {
+		if !b.val.self && !rsl.Compare(t.s, b.op, b.val.s) {
+			return true
+		}
+	}
+	return false
+}
+
+// consUnsat reports a proof that no request value assignment satisfies
+// the constraint on this one attribute.
+func consUnsat(c *cons) (string, bool) {
+	if c.deadOp {
+		return fmt.Sprintf("a clause on %q uses an operator the evaluator never satisfies", c.attr), true
+	}
+	if c.eqNull {
+		switch {
+		case c.always:
+			return fmt.Sprintf("(%s = NULL) can never hold: %s is present on every request", c.attr, c.attr), true
+		case c.hasEq:
+			return fmt.Sprintf("%s is required to be both absent (= NULL) and equal to a value", c.attr), true
+		case c.neqNull:
+			return fmt.Sprintf("%s is required to be both absent (= NULL) and present (!= NULL)", c.attr), true
+		}
+		return "", false // absence is consistent with != and limit clauses
+	}
+	if c.hasEq {
+		if len(c.eq) == 0 {
+			if c.eqExact {
+				return fmt.Sprintf("equality clauses on %s admit no common value", c.attr), true
+			}
+			return "", false
+		}
+		if c.eqExact {
+			all := true
+			for _, t := range c.eq {
+				if !provablyFails(t, c) {
+					all = false
+					break
+				}
+			}
+			if all {
+				return fmt.Sprintf("every permitted value of %s violates the set's other %s clauses", c.attr, c.attr), true
+			}
+		}
+		return "", false
+	}
+	// Without an equality clause, limits only bite when presence is
+	// forced (an absent attribute passes every limit).
+	if (c.always || c.neqNull) && boundsEmpty(c.bounds) {
+		return fmt.Sprintf("limits on %s define an empty range", c.attr), true
+	}
+	return "", false
+}
+
+// boundsEmpty reports that some lower/upper limit pair excludes every
+// value under both the numeric and the byte-wise string reading.
+func boundsEmpty(bs []bound) bool {
+	for _, lo := range bs {
+		if lo.upper() || lo.val.self {
+			continue
+		}
+		for _, hi := range bs {
+			if !hi.upper() || hi.val.self {
+				continue
+			}
+			if pairEmpty(lo, hi) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func pairEmpty(lo, hi bound) bool {
+	strictEither := lo.strict() || hi.strict()
+	strEmpty := lo.val.s > hi.val.s || (lo.val.s == hi.val.s && strictEither)
+	ln, lerr := strconv.ParseFloat(strings.TrimSpace(lo.val.s), 64)
+	hn, herr := strconv.ParseFloat(strings.TrimSpace(hi.val.s), 64)
+	switch {
+	case lerr == nil && herr == nil:
+		// Numeric values take the numeric path, everything else the
+		// string path: both must be empty.
+		numEmpty := ln > hn || (ln == hn && strictEither)
+		return numEmpty && strEmpty
+	case lerr != nil && herr != nil:
+		// Both bounds non-numeric: every comparison is byte-wise.
+		return strEmpty
+	default:
+		return false // mixed numeric/string bounds: no claim
+	}
+}
+
+// unsatisfiable scans a folded conjunction for a contradiction,
+// reporting the offending attribute. onAction distinguishes a dead
+// action selector (the set never applies at all) from a set that
+// applies but can never be satisfied.
+func unsatisfiable(m map[string]*cons, order []string) (attr, reason string, onAction, ok bool) {
+	for _, a := range order {
+		if msg, bad := consUnsat(m[a]); bad {
+			return a, msg, a == policy.AttrAction, true
+		}
+	}
+	return "", "", false, false
+}
+
+// implied reports that every request satisfying all of sub's
+// constraints necessarily satisfies the single constraint c1.
+// Conservative: false means "could not prove", never "does not hold".
+func implied(c1 *cons, sub map[string]*cons) bool {
+	if c1 == nil {
+		return true
+	}
+	c2 := sub[c1.attr]
+	if c1.deadOp || (c2 != nil && c2.deadOp) {
+		return false // callers exclude unsatisfiable sets; stay safe
+	}
+	absent := c2 != nil && c2.eqNull && !c2.hasEq
+	if c1.eqNull && !absent {
+		return false
+	}
+	if c1.hasEq {
+		if c2 == nil || !c2.hasEq || !c2.eqExact {
+			return false
+		}
+		for _, t := range c2.eq {
+			if !containsToken(c1.eq, t) {
+				return false
+			}
+		}
+	}
+	if c1.neqNull && !impliedPresent(c2) {
+		return false
+	}
+	if !absent {
+		for _, f := range c1.neq {
+			if !excludes(c2, f) {
+				return false
+			}
+		}
+		for _, b := range c1.bounds {
+			if b.val.self || !boundImplied(c2, b) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// impliedPresent reports that c2 forces the attribute to be present
+// with every value non-empty, which is what (attr != NULL) demands.
+func impliedPresent(c2 *cons) bool {
+	if c2 == nil {
+		return false
+	}
+	if c2.neqNull {
+		return true
+	}
+	if c2.hasEq && c2.eqExact && len(c2.eq) > 0 {
+		for _, t := range c2.eq {
+			if t.self || t.s == "" {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// excludes reports that no value allowed by c2 can equal the forbidden
+// token f.
+func excludes(c2 *cons, f token) bool {
+	if c2 == nil {
+		return false
+	}
+	for _, g := range c2.neq {
+		if g.equal(f) {
+			return true
+		}
+	}
+	if !f.self && f.s == "" && c2.neqNull {
+		return true
+	}
+	if c2.hasEq && c2.eqExact {
+		for _, t := range c2.eq {
+			if t.equal(f) || t.self != f.self {
+				return false // equal, or self-vs-literal could coincide
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// boundImplied reports that c2 guarantees every present value passes
+// the limit b1.
+func boundImplied(c2 *cons, b1 bound) bool {
+	if c2 == nil {
+		return false
+	}
+	if c2.hasEq && c2.eqExact {
+		for _, t := range c2.eq {
+			if t.self || !rsl.Compare(t.s, b1.op, b1.val.s) {
+				return false
+			}
+		}
+		return len(c2.eq) > 0
+	}
+	for _, b2 := range c2.bounds {
+		if b2.val.self || b2.upper() != b1.upper() {
+			continue
+		}
+		if tighter(b2, b1) {
+			return true
+		}
+	}
+	return false
+}
+
+// tighter reports that satisfying b2 guarantees satisfying the
+// same-direction limit b1, under both the numeric and the byte-wise
+// string reading of the evaluator's Compare.
+func tighter(b2, b1 bound) bool {
+	okStrict := !b1.strict() || b2.strict()
+	x2, x1 := b2.val.s, b1.val.s
+	n2, err2 := strconv.ParseFloat(strings.TrimSpace(x2), 64)
+	n1, err1 := strconv.ParseFloat(strings.TrimSpace(x1), 64)
+	if (err2 == nil) != (err1 == nil) {
+		return false // mixed numeric/string bounds: no claim
+	}
+	numeric := err2 == nil
+	if b1.upper() {
+		strOK := x2 < x1 || (x2 == x1 && okStrict)
+		if !numeric {
+			return strOK
+		}
+		return strOK && (n2 < n1 || (n2 == n1 && okStrict))
+	}
+	strOK := x2 > x1 || (x2 == x1 && okStrict)
+	if !numeric {
+		return strOK
+	}
+	return strOK && (n2 > n1 || (n2 == n1 && okStrict))
+}

@@ -1,0 +1,193 @@
+package analyze_test
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"gridauth/internal/policy"
+	"gridauth/internal/policy/analyze"
+)
+
+// The golden corpus reuses the internal/analysis/analysistest replay
+// pattern for policy files: every fixture line may carry a
+// `# want `+"`regex`"+` comment naming the finding the analyzer must
+// report on that line, and a `# want-coverage a b c` directive lists
+// the registry actions the coverage pass must flag. A fixture with no
+// wants (fig3.policy) asserts zero findings. Directories group files
+// that are analyzed together (the cross-source conflict fixtures);
+// files whose name contains "local" become the local sources.
+
+var wantRe = regexp.MustCompile("# want `([^`]+)`")
+
+type expectation struct {
+	file    string
+	line    int
+	rx      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+func TestGoldenFixtures(t *testing.T) {
+	entries, err := os.ReadDir("testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		switch {
+		case e.IsDir():
+			sub, err := os.ReadDir(filepath.Join("testdata", e.Name()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			var files []string
+			for _, f := range sub {
+				if strings.HasSuffix(f.Name(), ".policy") {
+					files = append(files, filepath.Join("testdata", e.Name(), f.Name()))
+				}
+			}
+			t.Run(e.Name(), func(t *testing.T) { runGolden(t, files) })
+		case strings.HasSuffix(e.Name(), ".policy"):
+			file := filepath.Join("testdata", e.Name())
+			t.Run(strings.TrimSuffix(e.Name(), ".policy"), func(t *testing.T) { runGolden(t, []string{file}) })
+		}
+	}
+}
+
+func runGolden(t *testing.T, files []string) {
+	var (
+		compiled  []*policy.Compiled
+		pols      = map[string]*policy.Policy{}
+		locals    []string
+		wants     []*expectation
+		wantCover []string
+	)
+	for _, file := range files {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		source := filepath.ToSlash(file)
+		for i, line := range strings.Split(string(data), "\n") {
+			if m := wantRe.FindStringSubmatch(line); m != nil {
+				rx, err := regexp.Compile(m[1])
+				if err != nil {
+					t.Fatalf("%s:%d: bad want pattern: %v", source, i+1, err)
+				}
+				wants = append(wants, &expectation{file: source, line: i + 1, rx: rx, raw: m[1]})
+			}
+			if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "# want-coverage "); ok {
+				wantCover = append(wantCover, strings.Fields(rest)...)
+			}
+		}
+		pol, err := policy.ParseString(string(data), source)
+		if err != nil {
+			t.Fatalf("%s: %v", source, err)
+		}
+		pols[source] = pol
+		compiled = append(compiled, policy.Compile(pol))
+		if strings.Contains(filepath.Base(file), "local") {
+			locals = append(locals, source)
+		}
+	}
+
+	opts := analyze.Options{LocalSources: locals}
+	if len(wantCover) > 0 {
+		opts.Actions = []string{policy.ActionStart, policy.ActionCancel, policy.ActionInformation, policy.ActionSignal}
+	}
+	rep := analyze.With(opts, compiled...)
+
+	var coverage []analyze.Finding
+	for _, f := range rep.Findings {
+		if f.Class == analyze.ClassCoverage {
+			coverage = append(coverage, f)
+			continue
+		}
+		if !matchWant(wants, f) {
+			t.Errorf("unexpected finding: %s", f)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no finding matched want `%s`", w.file, w.line, w.raw)
+		}
+	}
+	checkCoverage(t, wantCover, coverage)
+	checkDeletable(t, rep, pols)
+}
+
+func matchWant(wants []*expectation, f analyze.Finding) bool {
+	text := fmt.Sprintf("%s: %s", f.Class, f.Message)
+	for _, w := range wants {
+		if w.matched || w.file != f.Source || w.line != f.Line {
+			continue
+		}
+		if w.rx.MatchString(text) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+func checkCoverage(t *testing.T, want []string, got []analyze.Finding) {
+	t.Helper()
+	for _, action := range want {
+		found := false
+		for _, f := range got {
+			if strings.Contains(f.Message, fmt.Sprintf("action %q", action)) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("no coverage finding for action %q", action)
+		}
+	}
+	if len(got) != len(want) {
+		t.Errorf("coverage findings: got %d, want %d: %v", len(got), len(want), got)
+	}
+}
+
+// checkDeletable is the differential proof: every finding marked
+// Deletable must tombstone out of its policy without changing any
+// decision (modulo the deleted set's own denial entries) over the
+// generated request corpus — on the interpreted evaluator AND the
+// compiled engine, which must also agree with each other throughout.
+func checkDeletable(t *testing.T, rep *analyze.Report, pols map[string]*policy.Policy) {
+	t.Helper()
+	var all []*policy.Policy
+	for _, p := range pols {
+		all = append(all, p)
+	}
+	reqs := analyze.GenRequests(all...)
+	for _, f := range rep.Findings {
+		if !f.Deletable {
+			continue
+		}
+		pol := pols[f.Source]
+		if pol == nil {
+			t.Errorf("deletable finding with unknown source %q", f.Source)
+			continue
+		}
+		tomb := analyze.Tombstone(pol, f.Stmt, f.Set)
+		cBefore, cAfter := policy.Compile(pol), policy.Compile(tomb)
+		for i := range reqs {
+			req := &reqs[i]
+			before, after := pol.Evaluate(req), tomb.Evaluate(req)
+			if got := cBefore.Evaluate(req); got != before {
+				t.Fatalf("compiled/interpreted divergence before deletion on %+v: %+v vs %+v", req, got, before)
+			}
+			if got := cAfter.Evaluate(req); got != after {
+				t.Fatalf("compiled/interpreted divergence after deletion on %+v: %+v vs %+v", req, got, after)
+			}
+			if !analyze.DecisionsEquivalent(req, before, after, f.Label) {
+				t.Fatalf("deleting %s (%s) changed a decision:\nreq:    %+v\nbefore: %+v\nafter:  %+v",
+					f.Label, f.Class, req, before, after)
+			}
+		}
+	}
+}

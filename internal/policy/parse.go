@@ -42,12 +42,13 @@ func Parse(r io.Reader, source string) (*Policy, error) {
 		current *Statement
 		buf     strings.Builder // pending assertion text of current
 		curLine int
+		marks   []lineMark // buf offset → source line, one per appended line
 	)
 	flush := func() error {
 		if current == nil {
 			return nil
 		}
-		sets, err := parseSets(buf.String())
+		sets, err := parseSets(buf.String(), marks)
 		if err != nil {
 			return &ParseError{Line: curLine, Msg: err.Error()}
 		}
@@ -58,6 +59,7 @@ func Parse(r io.Reader, source string) (*Policy, error) {
 		p.Statements = append(p.Statements, current)
 		current = nil
 		buf.Reset()
+		marks = marks[:0]
 		return nil
 	}
 
@@ -82,8 +84,9 @@ func Parse(r io.Reader, source string) (*Policy, error) {
 			if !dn.Valid() {
 				return nil, &ParseError{Line: lineNo, Msg: fmt.Sprintf("invalid subject %q", subj)}
 			}
-			current = &Statement{Subject: dn}
+			current = &Statement{Subject: dn, Line: lineNo}
 			curLine = lineNo
+			marks = append(marks, lineMark{off: buf.Len(), line: lineNo})
 			buf.WriteString(rest)
 			buf.WriteString(" ")
 			continue
@@ -94,6 +97,7 @@ func Parse(r io.Reader, source string) (*Policy, error) {
 		if line[0] != '&' && line[0] != '(' {
 			return nil, &ParseError{Line: lineNo, Msg: fmt.Sprintf("unexpected continuation %q", line)}
 		}
+		marks = append(marks, lineMark{off: buf.Len(), line: lineNo})
 		buf.WriteString(line)
 		buf.WriteString(" ")
 	}
@@ -140,11 +144,30 @@ func splitStatementHeader(line string) (subject, rest string, ok bool) {
 	return strings.TrimSpace(trimmed[:colon]), strings.TrimSpace(trimmed[colon+1:]), true
 }
 
+// lineMark maps an offset into the accumulated assertion text of one
+// statement back to the 1-based source line the text came from.
+type lineMark struct {
+	off  int
+	line int
+}
+
+// lineFor returns the source line for an offset into the accumulated
+// text, or 0 when no marks cover it (text assembled without positions).
+func lineFor(marks []lineMark, off int) int {
+	line := 0
+	for _, m := range marks {
+		if m.off > off {
+			break
+		}
+		line = m.line
+	}
+	return line
+}
+
 // parseSets splits assertion text into '&'-delimited conjunctions and
-// parses each as RSL.
-func parseSets(text string) ([]*AssertionSet, error) {
-	text = strings.TrimSpace(text)
-	if text == "" {
+// parses each as RSL. marks (may be nil) recovers each set's source line.
+func parseSets(text string, marks []lineMark) ([]*AssertionSet, error) {
+	if strings.TrimSpace(text) == "" {
 		return nil, nil
 	}
 	chunks, err := splitTopLevel(text)
@@ -153,24 +176,32 @@ func parseSets(text string) ([]*AssertionSet, error) {
 	}
 	sets := make([]*AssertionSet, 0, len(chunks))
 	for _, chunk := range chunks {
-		node, err := rsl.Parse("&" + chunk)
+		node, err := rsl.Parse("&" + chunk.text)
 		if err != nil {
-			return nil, fmt.Errorf("assertion set %q: %w", chunk, err)
+			return nil, fmt.Errorf("assertion set %q: %w", chunk.text, err)
 		}
 		set, err := setFromNode(node)
 		if err != nil {
-			return nil, fmt.Errorf("assertion set %q: %w", chunk, err)
+			return nil, fmt.Errorf("assertion set %q: %w", chunk.text, err)
 		}
+		set.Line = lineFor(marks, chunk.off)
 		sets = append(sets, set)
 	}
 	return sets, nil
 }
 
+// chunk is one top-level parenthesized conjunction plus the offset of
+// its first '(' in the text it was split from.
+type chunk struct {
+	text string
+	off  int
+}
+
 // splitTopLevel splits "&(...)(...) &(...)" into chunks of parenthesized
 // relations, honoring nesting and quotes.
-func splitTopLevel(text string) ([]string, error) {
+func splitTopLevel(text string) ([]chunk, error) {
 	var (
-		chunks  []string
+		chunks  []chunk
 		start   = -1
 		depth   = 0
 		inQuote byte
@@ -179,7 +210,7 @@ func splitTopLevel(text string) ([]string, error) {
 		if start >= 0 {
 			c := strings.TrimSpace(text[start:end])
 			if c != "" {
-				chunks = append(chunks, c)
+				chunks = append(chunks, chunk{text: c, off: start})
 			}
 		}
 	}

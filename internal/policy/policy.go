@@ -89,6 +89,9 @@ type Statement struct {
 	Subject gsi.DN
 	// Sets holds the statement's assertion sets.
 	Sets []*AssertionSet
+	// Line is the 1-based source line of the statement header in the
+	// policy file it was parsed from, or 0 for statements built in code.
+	Line int
 }
 
 // AssertionSet is one conjunction of relations.
@@ -96,6 +99,9 @@ type AssertionSet struct {
 	// Clauses holds every relation of the set, including the action
 	// selector.
 	Clauses []*rsl.Relation
+	// Line is the 1-based source line the set's text starts on in the
+	// policy file it was parsed from, or 0 for sets built in code.
+	Line int
 }
 
 // Actions returns the action values the set is selected by. An empty

@@ -454,3 +454,41 @@ func itoa(n int) string {
 	}
 	return string(b)
 }
+
+func TestParsePositions(t *testing.T) {
+	// Line numbers feed analyzer findings (file:line diagnostics), so
+	// pin them exactly: comments, blank lines, multi-line statements
+	// and two sets sharing one source line must all survive parsing.
+	p := MustParse(`
+# header comment
+
+/O=Grid/CN=A: &(action = start)(executable = a)
+
+/O=Grid/CN=B:
+  &(action = start)(count <= 4)
+
+  &(action = cancel)(jobowner = self) &(action = signal)(jobowner = self)
+`, "t")
+	if len(p.Statements) != 2 {
+		t.Fatalf("statements = %d", len(p.Statements))
+	}
+	a, b := p.Statements[0], p.Statements[1]
+	if a.Line != 4 {
+		t.Errorf("statement A header line = %d, want 4", a.Line)
+	}
+	if got := a.Sets[0].Line; got != 4 {
+		t.Errorf("A set 0 line = %d, want 4 (same line as header)", got)
+	}
+	if b.Line != 6 {
+		t.Errorf("statement B header line = %d, want 6", b.Line)
+	}
+	want := []int{7, 9, 9}
+	if len(b.Sets) != len(want) {
+		t.Fatalf("B sets = %d, want %d", len(b.Sets), len(want))
+	}
+	for i, w := range want {
+		if got := b.Sets[i].Line; got != w {
+			t.Errorf("B set %d line = %d, want %d", i, got, w)
+		}
+	}
+}
