@@ -1,0 +1,71 @@
+// Command benchdiff compares two BENCH_load.json reports (the P13 load
+// harness output, internal/loadgen) and fails when latency regressed:
+//
+//	benchdiff -baseline BENCH_load.json -current new.json
+//
+// Every grid point present in both reports is compared on its median
+// p99 latency; growth beyond -tolerance percent (default 25) is a
+// regression. Points that appear on only one side are reported but
+// never fail the diff — grids evolve. CI runs this against the
+// committed baseline on every push; see docs/PERFORMANCE.md for the
+// commit-message opt-out.
+//
+// Exit status: 0 when no point regressed, 1 on regression, 2 for usage
+// or file errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gridauth/internal/loadgen"
+)
+
+func main() {
+	code, err := run(os.Args[1:])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+	}
+	os.Exit(code)
+}
+
+func run(args []string) (int, error) {
+	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
+	baseline := fs.String("baseline", "", "committed baseline report (BENCH_load.json)")
+	current := fs.String("current", "", "freshly produced report to compare")
+	tolerance := fs.Float64("tolerance", 25, "maximum allowed p99 growth in percent")
+	if err := fs.Parse(args); err != nil {
+		return 2, nil
+	}
+	if *baseline == "" || *current == "" {
+		return 2, fmt.Errorf("-baseline and -current are both required")
+	}
+	if *tolerance < 0 {
+		return 2, fmt.Errorf("-tolerance must be non-negative")
+	}
+	base, err := loadgen.LoadReport(*baseline)
+	if err != nil {
+		return 2, err
+	}
+	cur, err := loadgen.LoadReport(*current)
+	if err != nil {
+		return 2, err
+	}
+	regs, notes, err := loadgen.Diff(base, cur, *tolerance)
+	if err != nil {
+		return 2, err
+	}
+	for _, n := range notes {
+		fmt.Println("note:", n)
+	}
+	for _, r := range regs {
+		fmt.Printf("REGRESSION %s: p99 %.0fµs -> %.0fµs (+%.1f%%, tolerance %.0f%%)\n",
+			r.Point, r.OldP99, r.NewP99, r.ChangePct, *tolerance)
+	}
+	if len(regs) > 0 {
+		return 1, fmt.Errorf("%d point(s) regressed beyond %.0f%%", len(regs), *tolerance)
+	}
+	fmt.Printf("ok: %d point(s) within %.0f%% of baseline\n", len(cur.Points), *tolerance)
+	return 0, nil
+}

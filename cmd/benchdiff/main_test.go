@@ -1,0 +1,76 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"gridauth/internal/loadgen"
+)
+
+func writeReport(t *testing.T, name string, rep *loadgen.Report) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := rep.WriteJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func report(p99ByPoint map[string]float64) *loadgen.Report {
+	rep := &loadgen.Report{Schema: loadgen.ReportSchema, Seed: 1}
+	for name, p99 := range p99ByPoint {
+		rep.Points = append(rep.Points, loadgen.PointSummary{Point: name, P99Micros: p99})
+	}
+	return rep
+}
+
+func TestWithinToleranceExitsZero(t *testing.T) {
+	base := writeReport(t, "base.json", report(map[string]float64{"a": 1000, "b": 2000}))
+	cur := writeReport(t, "cur.json", report(map[string]float64{"a": 1200, "b": 1500}))
+	code, err := run([]string{"-baseline", base, "-current", cur})
+	if err != nil || code != 0 {
+		t.Fatalf("code=%d err=%v", code, err)
+	}
+}
+
+func TestRegressionExitsOne(t *testing.T) {
+	base := writeReport(t, "base.json", report(map[string]float64{"a": 1000}))
+	cur := writeReport(t, "cur.json", report(map[string]float64{"a": 1300}))
+	code, err := run([]string{"-baseline", base, "-current", cur})
+	if code != 1 || err == nil {
+		t.Fatalf("code=%d err=%v, want 1 with error", code, err)
+	}
+	// A looser tolerance accepts the same pair.
+	code, err = run([]string{"-baseline", base, "-current", cur, "-tolerance", "50"})
+	if err != nil || code != 0 {
+		t.Fatalf("code=%d err=%v at 50%% tolerance", code, err)
+	}
+}
+
+func TestNewAndDroppedPointsAreNotes(t *testing.T) {
+	base := writeReport(t, "base.json", report(map[string]float64{"old": 1000}))
+	cur := writeReport(t, "cur.json", report(map[string]float64{"new": 9000}))
+	code, err := run([]string{"-baseline", base, "-current", cur})
+	if err != nil || code != 0 {
+		t.Fatalf("disjoint grids must not fail: code=%d err=%v", code, err)
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	if code, err := run(nil); code != 2 || err == nil {
+		t.Fatalf("missing flags: code=%d err=%v", code, err)
+	}
+	missing := filepath.Join(t.TempDir(), "none.json")
+	if code, _ := run([]string{"-baseline", missing, "-current", missing}); code != 2 {
+		t.Fatalf("missing file accepted: code=%d", code)
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte("{"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	good := writeReport(t, "good.json", report(map[string]float64{"a": 1}))
+	if code, _ := run([]string{"-baseline", bad, "-current", good}); code != 2 {
+		t.Fatalf("corrupt baseline accepted: code=%d", code)
+	}
+}

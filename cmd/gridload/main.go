@@ -1,0 +1,120 @@
+// Command gridload is the CLI of the P13 full-stack load harness
+// (internal/loadgen): it drives a real in-process gatekeeper — TCP, GSI
+// handshakes, callout chain, metrics — with synthetic identities and a
+// mixed traffic profile, and reports exact p50/p99/p999 latency, peak
+// decisions/sec and the client-vs-/metrics cross-check.
+//
+// Run a whole experiment grid file (see scripts/experiments/grid.json
+// for the schema by example, docs/PERFORMANCE.md for the reference):
+//
+//	gridload -grid scripts/experiments/grid.json -out BENCH_load.json
+//
+// Dry-run a grid file without generating any load — schema validation
+// plus a probe build of every referenced policy shape:
+//
+//	gridload -validate -grid scripts/experiments/grid.json
+//
+// Or run a single ad-hoc point from flags:
+//
+//	gridload -identities 100000 -requests 5000 -dist zipf -shape prefix
+//
+// Exit status is 0 on success, 1 when a run records transport errors,
+// 2 for usage or validation errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gridauth/internal/loadgen"
+)
+
+func main() {
+	code, err := run(os.Args[1:])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gridload:", err)
+	}
+	os.Exit(code)
+}
+
+func run(args []string) (int, error) {
+	fs := flag.NewFlagSet("gridload", flag.ContinueOnError)
+	gridPath := fs.String("grid", "", "experiment grid file (JSON); overrides the single-point flags")
+	validate := fs.Bool("validate", false, "validate the -grid file (schema + referenced policy shapes) without running load")
+	out := fs.String("out", "", "write the machine-readable report (BENCH_load.json layout) to this path")
+	seed := fs.Int64("seed", 1, "deterministic seed for identities and op streams (single-point mode)")
+
+	identities := fs.Int("identities", 1000, "synthetic identity population (single-point mode)")
+	workers := fs.Int("workers", loadgen.DefaultWorkers, "closed-loop worker count")
+	requests := fs.Int("requests", 2000, "total operations")
+	rate := fs.Float64("rate", 0, "open-loop arrival rate per second (0 = closed loop)")
+	dist := fs.String("dist", loadgen.DistUniform, "subject distribution: uniform, zipf or hotkey")
+	shape := fs.String("shape", loadgen.ShapeExact, "policy shape: exact, prefix or req")
+	rules := fs.Int("rules", loadgen.DefaultRules, "policy statement count")
+	resume := fs.Float64("resume", 0, "fraction of GRAM ops forcing session-resumption reconnects")
+	full := fs.Float64("full", 0, "fraction of GRAM ops paying a full handshake on a throwaway connection")
+	if err := fs.Parse(args); err != nil {
+		return 2, nil
+	}
+
+	if *validate {
+		if *gridPath == "" {
+			return 2, fmt.Errorf("-validate requires -grid")
+		}
+		g, err := loadgen.LoadGrid(*gridPath)
+		if err != nil {
+			return 2, err
+		}
+		for i := range g.Points {
+			if err := loadgen.ValidatePolicy(&g.Points[i]); err != nil {
+				return 2, fmt.Errorf("point %s: %w", g.Points[i].Name, err)
+			}
+		}
+		fmt.Printf("%s: ok (%d points)\n", *gridPath, len(g.Points))
+		return 0, nil
+	}
+
+	var g *loadgen.Grid
+	if *gridPath != "" {
+		var err error
+		g, err = loadgen.LoadGrid(*gridPath)
+		if err != nil {
+			return 2, err
+		}
+	} else {
+		if *resume < 0 || *full < 0 || *resume+*full > 1 {
+			return 2, fmt.Errorf("-resume and -full must be non-negative and sum to at most 1")
+		}
+		g = &loadgen.Grid{Seed: *seed, Points: []loadgen.Point{{
+			Name:       "adhoc",
+			Identities: *identities,
+			Workers:    *workers,
+			Requests:   *requests,
+			Rate:       *rate,
+			Dist:       *dist,
+			Policy:     loadgen.PolicyShape{Shape: *shape, Rules: *rules},
+			Conn:       loadgen.ConnMix{Reuse: 1 - *resume - *full, Resume: *resume, Full: *full},
+		}}}
+		if err := g.Validate(); err != nil {
+			return 2, err
+		}
+	}
+
+	rep, err := loadgen.RunGrid(g, func(line string) { fmt.Println(line) })
+	if err != nil {
+		return 2, err
+	}
+	fmt.Print(rep.Table())
+	if *out != "" {
+		if err := rep.WriteJSON(*out); err != nil {
+			return 2, err
+		}
+	}
+	for _, p := range rep.Points {
+		if p.Errors > 0 {
+			return 1, fmt.Errorf("point %s recorded %d transport errors", p.Point, p.Errors)
+		}
+	}
+	return 0, nil
+}

@@ -188,11 +188,62 @@ func (e *confEnv) lastDecision(t *testing.T, before int) (audit.Record, obs.Trac
 	return rec, tr
 }
 
-func TestConformanceScenarios(t *testing.T) {
+// confSummary is the observable outcome of one full scenario replay:
+// the ordered audit-record digests plus the decision counters. The
+// resumed-session variant must reproduce it exactly — session
+// resumption is a transport optimization and may not change a single
+// authorization outcome.
+type confSummary struct {
+	records []string
+	permits uint64
+	denies  uint64
+}
+
+// digestRecord normalizes an audit record to its decision-relevant
+// fields. RequestIDs and timing are fresh per run; everything policy
+// semantics determine is in the digest.
+func digestRecord(rec audit.Record) string {
+	return strings.Join([]string{
+		rec.Effect, rec.Action, string(rec.Subject), string(rec.JobOwner), rec.PDP, rec.Source,
+	}, "|")
+}
+
+// primeResumed establishes the client's GSI session with a request that
+// produces no authorization decision (a management call on a contact no
+// job owns fails at the job table, before any callout), drops the
+// connection, and repeats it so the lazy reconnect redeems the session
+// ticket. After it returns, all of the client's scenario traffic rides
+// a resumed session.
+func primeResumed(t *testing.T, c *gram.Client) {
+	t.Helper()
+	const bogus = "gram://prime/no-such-job"
+	var pe *gram.ProtoError
+	if _, err := c.Status(bogus); !asProtoError(err, &pe) || pe.Code != gram.CodeNoSuchJob {
+		t.Fatalf("priming status = %v, want no-such-job", err)
+	}
+	c.Close()
+	if _, err := c.Status(bogus); !asProtoError(err, &pe) || pe.Code != gram.CodeNoSuchJob {
+		t.Fatalf("post-resume status = %v, want no-such-job", err)
+	}
+	if !c.Resumed() {
+		t.Fatal("client reconnected with a full handshake, not a resumed session")
+	}
+}
+
+// runConformanceScenarios replays the nine paper scenarios and returns
+// the run's summary. With resumed set, every client is primed to carry
+// its traffic over a resumed GSI session (ticket redemption instead of
+// a fresh chain verification) first.
+func runConformanceScenarios(t *testing.T, resumed bool) confSummary {
 	e := newConfEnv(t)
 	dev := mustClient(t, e.res, e.dev)
 	ana := mustClient(t, e.res, e.ana)
 	adm := mustClient(t, e.res, e.adm)
+	if resumed {
+		for _, c := range []*gram.Client{dev, ana, adm} {
+			primeResumed(t, c)
+		}
+	}
 
 	// Jobs created along the way, shared by the management scenarios.
 	var devJob, anaJob string
@@ -400,8 +451,52 @@ func TestConformanceScenarios(t *testing.T) {
 	if full := e.metrics.HandshakesFull.Load(); full < 4 {
 		t.Errorf("full handshakes = %d, want at least one per client", full)
 	}
+	if got := e.metrics.HandshakesResumed.Load(); resumed && got < 3 {
+		t.Errorf("resumed handshakes = %d, want one per primed client", got)
+	} else if !resumed && got != 0 {
+		t.Errorf("resumed handshakes = %d, want 0 without priming", got)
+	}
 	if e.metrics.DecisionSeconds.Count() != permits+denies {
 		t.Errorf("latency histogram count = %d, want %d", e.metrics.DecisionSeconds.Count(), permits+denies)
+	}
+
+	sum := confSummary{permits: permits, denies: denies}
+	for _, rec := range e.log.Records() {
+		sum.records = append(sum.records, digestRecord(rec))
+	}
+	return sum
+}
+
+func TestConformanceScenarios(t *testing.T) {
+	runConformanceScenarios(t, false)
+}
+
+// TestConformanceScenariosResumedSession replays the whole suite twice
+// — once over full GSI handshakes, once over resumed session tickets —
+// and asserts the observable outcomes are identical: same decisions in
+// the same order, same audit-record digests, same permit/deny counts.
+// The paper's authorization semantics must be invariant under the
+// transport's session-resumption optimization.
+func TestConformanceScenariosResumedSession(t *testing.T) {
+	var full, resumed confSummary
+	t.Run("full", func(t *testing.T) { full = runConformanceScenarios(t, false) })
+	t.Run("resumed", func(t *testing.T) { resumed = runConformanceScenarios(t, true) })
+	if t.Failed() {
+		t.Fatal("scenario replay failed; skipping the cross-mode comparison")
+	}
+	if full.permits != resumed.permits || full.denies != resumed.denies {
+		t.Errorf("decision counts diverge: full %d/%d vs resumed %d/%d",
+			full.permits, full.denies, resumed.permits, resumed.denies)
+	}
+	if len(full.records) != len(resumed.records) {
+		t.Fatalf("audit volume diverges: full %d records vs resumed %d",
+			len(full.records), len(resumed.records))
+	}
+	for i := range full.records {
+		if full.records[i] != resumed.records[i] {
+			t.Errorf("audit record %d diverges:\n  full:    %s\n  resumed: %s",
+				i, full.records[i], resumed.records[i])
+		}
 	}
 }
 

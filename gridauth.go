@@ -135,6 +135,13 @@ type ResourceConfig struct {
 	// GridMap maps Grid identities to local accounts. Accounts named
 	// here are created automatically.
 	GridMap map[gsi.DN][]string
+	// SharedGridMap, when set, is used as the resource's grid-mapfile
+	// instead of a private one (GridMap entries are still added to it).
+	// The caller keeps the handle and may add identities while the
+	// resource serves — the load harness (internal/loadgen) registers
+	// its synthetic identities lazily this way, so a million-identity
+	// run only materializes the identities traffic actually samples.
+	SharedGridMap *gridmap.Map
 	// VOPolicy and LocalPolicy are policy texts in the paper's language;
 	// both empty in callout mode is an error (nothing could ever be
 	// permitted) unless PolicyStores, ExtraPDPs or VOs supply policy.
@@ -312,7 +319,10 @@ func (f *Fabric) StartResource(cfg ResourceConfig) (*Resource, error) {
 		return nil, fmt.Errorf("gridauth: issue gatekeeper credential: %w", err)
 	}
 
-	gmap := gridmap.New()
+	gmap := cfg.SharedGridMap
+	if gmap == nil {
+		gmap = gridmap.New()
+	}
 	acctMgr := accounts.NewManager()
 	seen := map[string]bool{}
 	for id, accts := range cfg.GridMap {

@@ -1,0 +1,227 @@
+// Package loadgen is the full-stack load harness (docs/PERFORMANCE.md,
+// "P13 — full-stack load"): a closed-loop (or open-loop, arrival-rate
+// paced) generator that drives a real gatekeeper — TCP, GSI handshakes,
+// callout chain, audit, metrics — with up to a million synthetic
+// identities fabricated deterministically from a seed, mixed
+// startup/management/gridftp/mds traffic, configurable subject skew
+// (uniform, Zipf, hot-key) and resumed-vs-full handshake mixes. It
+// measures exact p50/p99/p999 latency and peak decisions/sec, and
+// cross-checks its client-side counts against the gatekeeper's
+// /metrics endpoint. cmd/gridload is the CLI; scripts/experiments runs
+// a reproducible experiment grid into BENCH_load.json.
+package loadgen
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// Distribution and shape defaults, applied by Point.Normalize.
+const (
+	DefaultZipfS       = 1.3
+	DefaultHotKeys     = 10
+	DefaultHotFraction = 0.9
+	DefaultWorkers     = 8
+	DefaultRules       = 1000
+)
+
+// PolicyShape selects the installed policy from the P12 generators in
+// internal/workload.
+type PolicyShape struct {
+	// Shape is "exact", "prefix" or "req" (workload.ExactHeavyPolicy,
+	// workload.PrefixHeavyPolicy, workload.RequirementHeavyPolicy).
+	Shape string `json:"shape"`
+	// Rules is the statement count (default 1000).
+	Rules int `json:"rules,omitempty"`
+}
+
+// Mix is the traffic mix by op kind. Weights are relative; they need
+// not sum to 1.
+type Mix struct {
+	Startup    float64 `json:"startup"`
+	Management float64 `json:"management"`
+	GridFTP    float64 `json:"gridftp"`
+	MDS        float64 `json:"mds"`
+}
+
+// ConnMix is the connection-mode mix for GRAM traffic. Weights are
+// relative; they need not sum to 1.
+type ConnMix struct {
+	Reuse  float64 `json:"reuse"`
+	Resume float64 `json:"resume"`
+	Full   float64 `json:"full"`
+}
+
+// Point is one experiment grid point: a complete load-run
+// configuration.
+type Point struct {
+	// Name labels the point in reports; unique within a grid.
+	Name string `json:"name"`
+	// Identities is the synthetic identity population (up to 1M).
+	// Identities are fabricated lazily, so only the ones traffic
+	// samples are materialized.
+	Identities int `json:"identities"`
+	// Workers is the closed-loop concurrency (default 8).
+	Workers int `json:"workers,omitempty"`
+	// Requests is the total operation count.
+	Requests int `json:"requests"`
+	// Rate switches to open-loop mode: operations are dispatched at
+	// this arrival rate per second regardless of completions, and
+	// latency is measured from the scheduled arrival time (coordinated
+	// omission is accounted for). 0 selects closed-loop worker mode.
+	Rate float64 `json:"rate,omitempty"`
+	// Dist is the subject distribution: "uniform", "zipf" or "hotkey".
+	Dist string `json:"dist"`
+	// ZipfS is the Zipf skew exponent (>1; default 1.3).
+	ZipfS float64 `json:"zipfS,omitempty"`
+	// HotKeys and HotFraction parameterize the hot-key distribution:
+	// HotFraction of traffic lands on the first HotKeys identities
+	// (defaults 10 and 0.9).
+	HotKeys     int     `json:"hotKeys,omitempty"`
+	HotFraction float64 `json:"hotFraction,omitempty"`
+	// Policy selects the installed policy shape and size.
+	Policy PolicyShape `json:"policy"`
+	// Mix is the traffic mix (zero value selects all-startup).
+	Mix Mix `json:"mix,omitempty"`
+	// Conn is the connection-mode mix (zero value selects all-reuse).
+	Conn ConnMix `json:"conn,omitempty"`
+	// Repeats overrides the grid-level repeat count for this point
+	// (0 inherits).
+	Repeats int `json:"repeats,omitempty"`
+}
+
+// Grid is a reproducible experiment grid: a seed, a repeat count and a
+// list of points. scripts/experiments/grid.json is the committed
+// default.
+type Grid struct {
+	// Seed drives identity fabrication and the op streams. Repeat r of
+	// a point uses seed+r, so repeats are distinct but reproducible.
+	Seed int64 `json:"seed"`
+	// Repeats is how many times each point runs (default 1).
+	Repeats int `json:"repeats,omitempty"`
+	// Points are the grid points, run in order.
+	Points []Point `json:"points"`
+}
+
+// Normalize applies defaults in place.
+func (p *Point) Normalize() {
+	if p.Workers == 0 {
+		p.Workers = DefaultWorkers
+	}
+	if p.Policy.Rules == 0 {
+		p.Policy.Rules = DefaultRules
+	}
+	if p.ZipfS == 0 {
+		p.ZipfS = DefaultZipfS
+	}
+	if p.HotKeys == 0 {
+		p.HotKeys = DefaultHotKeys
+	}
+	if p.HotFraction == 0 {
+		p.HotFraction = DefaultHotFraction
+	}
+	if p.Mix == (Mix{}) {
+		p.Mix = Mix{Startup: 1}
+	}
+	if p.Conn == (ConnMix{}) {
+		p.Conn = ConnMix{Reuse: 1}
+	}
+}
+
+// Validate checks the point. It is the schema half of `gridload
+// -validate`; ValidatePolicy dry-runs the referenced policy shape.
+func (p *Point) Validate() error {
+	if p.Name == "" {
+		return fmt.Errorf("point needs a name")
+	}
+	if p.Identities <= 0 {
+		return fmt.Errorf("point %s: identities must be positive", p.Name)
+	}
+	if p.Requests <= 0 {
+		return fmt.Errorf("point %s: requests must be positive", p.Name)
+	}
+	if p.Workers < 0 || p.Rate < 0 || p.Repeats < 0 {
+		return fmt.Errorf("point %s: workers, rate and repeats must be non-negative", p.Name)
+	}
+	switch p.Dist {
+	case DistUniform, DistZipf, DistHotKey:
+	default:
+		return fmt.Errorf("point %s: unknown distribution %q (want %s, %s or %s)",
+			p.Name, p.Dist, DistUniform, DistZipf, DistHotKey)
+	}
+	if p.Dist == DistZipf && p.ZipfS != 0 && p.ZipfS <= 1 {
+		return fmt.Errorf("point %s: zipfS must exceed 1", p.Name)
+	}
+	if p.HotKeys < 0 || p.HotFraction < 0 || p.HotFraction > 1 {
+		return fmt.Errorf("point %s: hotKeys must be non-negative and hotFraction in [0,1]", p.Name)
+	}
+	switch p.Policy.Shape {
+	case ShapeExact, ShapePrefix, ShapeReq:
+	default:
+		return fmt.Errorf("point %s: unknown policy shape %q (want %s, %s or %s)",
+			p.Name, p.Policy.Shape, ShapeExact, ShapePrefix, ShapeReq)
+	}
+	if p.Policy.Rules < 0 || p.Policy.Rules == 1 {
+		return fmt.Errorf("point %s: policy rules must be 0 (default) or at least 2", p.Name)
+	}
+	if bad := negWeight(p.Mix.Startup, p.Mix.Management, p.Mix.GridFTP, p.Mix.MDS); bad {
+		return fmt.Errorf("point %s: mix weights must be non-negative", p.Name)
+	}
+	if bad := negWeight(p.Conn.Reuse, p.Conn.Resume, p.Conn.Full); bad {
+		return fmt.Errorf("point %s: conn weights must be non-negative", p.Name)
+	}
+	return nil
+}
+
+func negWeight(ws ...float64) bool {
+	for _, w := range ws {
+		if w < 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Validate checks the whole grid: every point, plus name uniqueness.
+func (g *Grid) Validate() error {
+	if len(g.Points) == 0 {
+		return fmt.Errorf("grid has no points")
+	}
+	if g.Repeats < 0 {
+		return fmt.Errorf("repeats must be non-negative")
+	}
+	seen := map[string]bool{}
+	for i := range g.Points {
+		p := &g.Points[i]
+		if err := p.Validate(); err != nil {
+			return err
+		}
+		if seen[p.Name] {
+			return fmt.Errorf("duplicate point name %q", p.Name)
+		}
+		seen[p.Name] = true
+	}
+	return nil
+}
+
+// LoadGrid reads and validates a grid file. Unknown JSON fields are
+// rejected, so a typo'd key fails -validate instead of silently
+// selecting a default.
+func LoadGrid(path string) (*Grid, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.DisallowUnknownFields()
+	var g Grid
+	if err := dec.Decode(&g); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &g, nil
+}

@@ -1,0 +1,101 @@
+package loadgen
+
+import (
+	"fmt"
+
+	"gridauth/internal/gsi"
+	"gridauth/internal/policy"
+	"gridauth/internal/rsl"
+	"gridauth/internal/workload"
+)
+
+// Policy shape names accepted by PolicyShape.Shape, mapping onto the
+// P12 generators in internal/workload.
+const (
+	ShapeExact  = "exact"
+	ShapePrefix = "prefix"
+	ShapeReq    = "req"
+)
+
+// Load traffic constants: the job description every startup op submits,
+// the jobtag it carries, and the data directory gridftp ops stay under.
+const (
+	LoadJobTag = "P13"
+	LoadRSL    = "&(executable=app)(jobtag=" + LoadJobTag + ")(count=2)(maxtime=30)"
+	LoadDir    = "/data/load"
+	// LoadAccount is the single local account all synthetic identities
+	// map to.
+	LoadAccount = "load"
+)
+
+func loadRel(attr string, op rsl.Op, vals ...string) *rsl.Relation {
+	r := &rsl.Relation{Attribute: attr, Op: op}
+	for _, v := range vals {
+		r.Values = append(r.Values, rsl.Lit(v))
+	}
+	return r
+}
+
+// loadGrants is the statement the harness appends to every P12 shape:
+// org-wide grants for the non-startup traffic. Management of one's own
+// jobs, MDS discovery, and data access under LoadDir. Startup traffic is
+// authorized by the shape's own per-user (or per-group) grants, so the
+// policy-shape axis of the grid stays on the hot path.
+func loadGrants() *policy.Statement {
+	return &policy.Statement{
+		Subject: gsi.DN(workload.P12OrgPrefix),
+		Sets: []*policy.AssertionSet{
+			{Clauses: []*rsl.Relation{
+				loadRel(policy.AttrAction, rsl.OpEq,
+					policy.ActionCancel, policy.ActionInformation, policy.ActionSignal),
+				loadRel(policy.AttrJobowner, rsl.OpEq, policy.ValueSelf),
+			}},
+			{Clauses: []*rsl.Relation{
+				loadRel(policy.AttrAction, rsl.OpEq, policy.ActionInformation),
+				loadRel("querytype", rsl.OpEq, "discovery"),
+			}},
+			{Clauses: []*rsl.Relation{
+				loadRel(policy.AttrAction, rsl.OpEq, "get", "put", "delete", "list"),
+				loadRel("dir", rsl.OpEq, LoadDir),
+			}},
+		},
+	}
+}
+
+// BuildPolicy renders the point's policy: the selected P12 shape at the
+// requested rule count, plus the loadGrants statement. It is also the
+// policy half of `gridload -validate`: building the (small, probe-sized)
+// policy proves the referenced shape exists before a run is attempted.
+func BuildPolicy(shape string, rules int) (*policy.Policy, error) {
+	if rules < 2 {
+		return nil, fmt.Errorf("loadgen: policy needs at least 2 rules, got %d", rules)
+	}
+	var pol *policy.Policy
+	switch shape {
+	case ShapeExact:
+		pol = workload.ExactHeavyPolicy(rules)
+	case ShapePrefix:
+		pol = workload.PrefixHeavyPolicy(rules)
+	case ShapeReq:
+		pol = workload.RequirementHeavyPolicy(rules)
+	default:
+		return nil, fmt.Errorf("loadgen: unknown policy shape %q", shape)
+	}
+	pol.Statements = append(pol.Statements, loadGrants())
+	return pol, nil
+}
+
+// ValidatePolicy dry-runs the point's policy reference with a small
+// probe build (the full rule count can take seconds to compile at 100k
+// rules — -validate must stay fast).
+func ValidatePolicy(p *Point) error {
+	rules := p.Policy.Rules
+	if rules == 0 {
+		rules = DefaultRules
+	}
+	if rules > 16 {
+		rules = 16
+	}
+	_, err := BuildPolicy(p.Policy.Shape, rules)
+	return err
+}

@@ -303,6 +303,24 @@ func RequirementHeavyPolicy(n int) *policy.Policy {
 	return &policy.Policy{Source: "P12:req", Statements: stmts}
 }
 
+// P12Subject maps a synthetic identity index onto a request subject for
+// a P12-shape policy of n statements (including the site cap). For the
+// "exact" and "req" shapes the subject IS per-user statement
+// 1+(i mod n-1), so distinct indices fold onto the policy's user set;
+// for the "prefix" shape the subject is a member DN extended under
+// group statement 1+(i mod n-1), so every index yields a DISTINCT
+// identity and resolution must run the prefix search — this is what
+// lets a load run drive a million distinct subjects through a
+// ten-thousand-rule policy. The load harness (internal/loadgen) issues
+// credentials for these DNs.
+func P12Subject(shape string, i, n int) gsi.DN {
+	k := 1 + i%(n-1)
+	if shape == "prefix" {
+		return p12Site(k) + gsi.DN(fmt.Sprintf("/CN=User %d", i))
+	}
+	return P12User(k)
+}
+
 // P12Spec is the shared job description every P12 request carries: it
 // satisfies the grants ("app", count cap), the jobtag-required and
 // maxtime requirements, and stays clear of the queue restriction.

@@ -1,0 +1,67 @@
+package gridauth_test
+
+// TestLoadSmoke is the tier-1 slice of the P13 full-stack load harness
+// (docs/PERFORMANCE.md): a small closed-loop run — a thousand synthetic
+// identities, a mixed traffic and connection-mode profile — against a
+// real gatekeeper, gridftp server and MDS directory. It is -short
+// friendly and bounded to roughly two seconds of traffic, so it rides
+// in `go test ./...`; `make load-smoke` runs it alone. The full
+// experiment grid lives in scripts/experiments.
+//
+// It asserts the harness invariants the committed BENCH_load.json
+// relies on: no transport errors, no denials on the permit-path
+// profile, and client-side decision counts agreeing with the scraped
+// /metrics counters within 1%.
+
+import (
+	"testing"
+
+	"gridauth/internal/loadgen"
+)
+
+func TestLoadSmoke(t *testing.T) {
+	p := loadgen.Point{
+		Name:       "smoke",
+		Identities: 1000,
+		Workers:    4,
+		Requests:   600,
+		Dist:       loadgen.DistZipf,
+		Policy:     loadgen.PolicyShape{Shape: loadgen.ShapeExact, Rules: 1000},
+		Mix:        loadgen.Mix{Startup: 4, Management: 3, GridFTP: 2, MDS: 1},
+		Conn:       loadgen.ConnMix{Reuse: 6, Resume: 2, Full: 2},
+	}
+	res, err := loadgen.RunPoint(p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("smoke: %d ops in %.2fs (%.0f ops/s), p50=%.0fµs p99=%.0fµs p999=%.0fµs, peak=%.0f dec/s, full=%d resumed=%d, %d identities",
+		res.Requests, res.DurationSec, res.Throughput,
+		res.P50Micros, res.P99Micros, res.P999Micros, res.PeakDecisionsPerSec,
+		res.HandshakesFull, res.HandshakesResumed, res.Identities)
+	if res.Errors != 0 {
+		t.Fatalf("load smoke saw %d transport errors", res.Errors)
+	}
+	if res.Denies != 0 {
+		t.Fatalf("permit-path profile saw %d denials", res.Denies)
+	}
+	if res.Permits != uint64(p.Requests) {
+		t.Fatalf("permits = %d, want %d", res.Permits, p.Requests)
+	}
+	if res.CrossCheckPct > 1.0 {
+		t.Fatalf("client/server decision cross-check off by %.2f%% (client %d, server %d)",
+			res.CrossCheckPct, res.Permits+res.Denies, res.ServerDecisions)
+	}
+	if res.Identities == 0 || res.Identities > 1000 {
+		t.Fatalf("materialized %d identities", res.Identities)
+	}
+	if res.HandshakesFull == 0 {
+		t.Fatal("no full handshakes recorded")
+	}
+	if res.HandshakesResumed == 0 {
+		t.Fatal("no resumed handshakes recorded: the resume mix did not exercise session tickets")
+	}
+	if res.P50Micros <= 0 || res.P99Micros < res.P50Micros || res.P999Micros < res.P99Micros {
+		t.Fatalf("implausible percentiles: p50=%.0f p99=%.0f p999=%.0f",
+			res.P50Micros, res.P99Micros, res.P999Micros)
+	}
+}
